@@ -1,0 +1,181 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* constraint form — the paper's aggregate Equation-3 rows vs the tighter
+  per-step indicator rows (same integer optimum, different solver effort);
+* partitioning consistency — strict ``z``-layer vs the paper's printed
+  relaxed formulation;
+* solver — in-house branch-and-bound vs scipy/HiGHS vs the grouped greedy;
+* MIR materialization on/off.
+
+Run with ``pytest benchmarks/bench_ablation_ilp.py --benchmark-only -s``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.ilp_builder import OptimizerConfig, build_mqo_ilp
+from repro.core.optimizer import MultiQueryOptimizer
+from repro.core.partitioning import ClusterConfig
+from repro.experiments.reporting import format_table
+from repro.ilp.greedy import solve_greedy
+from repro.streams.workloads import make_environment, random_queries
+
+
+def _workload(num_relations=10, num_queries=8, seed=11):
+    env = make_environment(num_relations)
+    queries = random_queries(env, num_queries, query_size=3, seed=seed)
+    return env, queries
+
+
+def test_ablation_constraint_form(benchmark):
+    """Paper-form vs indicator-form cost linking: same optimum."""
+    env, queries = _workload()
+
+    def run():
+        rows = []
+        for form in ("paper", "indicator"):
+            cfg = OptimizerConfig(
+                constraint_form=form,
+                strict_partitioning=False,
+                mir_max_size=2,
+                cluster=ClusterConfig(default_parallelism=4),
+            )
+            opt = MultiQueryOptimizer(
+                env.catalog, cfg, solver="scipy", use_greedy_warm_start=False
+            )
+            start = time.perf_counter()
+            res = opt.optimize(queries)
+            rows.append(
+                (
+                    form,
+                    res.plan.objective,
+                    res.ilp.num_constraints,
+                    time.perf_counter() - start,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== ablation: cost-linking constraint form ===")
+    print(format_table(["form", "objective", "constraints", "seconds"], rows))
+    assert rows[0][1] == pytest.approx(rows[1][1]), "optima must agree"
+
+
+def test_ablation_partitioning_consistency(benchmark):
+    """Strict z-layer vs the paper's relaxed ILP."""
+    env, queries = _workload()
+
+    def run():
+        rows = []
+        for strict in (False, True):
+            cfg = OptimizerConfig(
+                strict_partitioning=strict,
+                mir_max_size=2,
+                cluster=ClusterConfig(default_parallelism=4),
+            )
+            opt = MultiQueryOptimizer(
+                env.catalog, cfg, solver="scipy", use_greedy_warm_start=False
+            )
+            res = opt.optimize(queries)
+            rows.append(
+                ("strict" if strict else "relaxed", res.plan.objective,
+                 res.ilp.num_variables, res.ilp.num_constraints)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== ablation: partitioning consistency layer ===")
+    print(format_table(["mode", "objective", "vars", "constraints"], rows))
+    relaxed, strict = rows[0][1], rows[1][1]
+    assert relaxed <= strict + 1e-9, "relaxation can only lower the optimum"
+
+
+def test_ablation_solvers(benchmark):
+    """Own branch-and-bound vs HiGHS vs greedy on a small instance."""
+    env, queries = _workload(num_relations=8, num_queries=4, seed=5)
+    cfg = OptimizerConfig(
+        strict_partitioning=False,
+        mir_max_size=2,
+        cluster=ClusterConfig(default_parallelism=2),
+    )
+
+    def run():
+        rows = []
+        for solver in ("own", "scipy"):
+            opt = MultiQueryOptimizer(env.catalog, cfg, solver=solver)
+            start = time.perf_counter()
+            res = opt.optimize(queries)
+            rows.append((solver, res.plan.objective, time.perf_counter() - start))
+        ilp = MultiQueryOptimizer(env.catalog, cfg).build(queries)
+        start = time.perf_counter()
+        greedy = solve_greedy(ilp.grouped)
+        rows.append(("greedy", greedy.objective, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== ablation: solver backends ===")
+    print(format_table(["solver", "objective", "seconds"], rows))
+    own, scipy_obj, greedy_obj = rows[0][1], rows[1][1], rows[2][1]
+    assert own == pytest.approx(scipy_obj), "exact solvers must agree"
+    assert greedy_obj >= own - 1e-9, "greedy is an upper bound"
+
+
+def test_ablation_mir_materialization(benchmark):
+    """MIR stores on/off: intermediates can only help the optimum."""
+    env, queries = _workload()
+
+    def run():
+        rows = []
+        for enabled in (True, False):
+            cfg = OptimizerConfig(
+                enable_mirs=enabled,
+                mir_max_size=2,
+                strict_partitioning=False,
+                cluster=ClusterConfig(default_parallelism=4),
+            )
+            opt = MultiQueryOptimizer(
+                env.catalog, cfg, solver="scipy", use_greedy_warm_start=False
+            )
+            res = opt.optimize(queries)
+            rows.append(
+                ("with MIRs" if enabled else "no MIRs", res.plan.objective,
+                 res.ilp.num_probe_orders)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== ablation: MIR materialization ===")
+    print(format_table(["mode", "objective", "probe orders"], rows))
+    assert rows[0][1] <= rows[1][1] + 1e-9
+
+
+def test_ablation_greedy_warm_start(benchmark):
+    """Warm starts prune the in-house branch-and-bound."""
+    env, queries = _workload(num_relations=8, num_queries=3, seed=9)
+    cfg = OptimizerConfig(
+        strict_partitioning=False,
+        mir_max_size=2,
+        cluster=ClusterConfig(default_parallelism=2),
+    )
+
+    def run():
+        rows = []
+        for warm in (True, False):
+            opt = MultiQueryOptimizer(
+                env.catalog, cfg, solver="own", use_greedy_warm_start=warm
+            )
+            res = opt.optimize(queries)
+            rows.append(
+                (
+                    "warm" if warm else "cold",
+                    res.plan.objective,
+                    res.solution.info.get("nodes_explored", 0),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== ablation: greedy warm start for branch-and-bound ===")
+    print(format_table(["start", "objective", "B&B nodes"], rows))
+    assert rows[0][1] == pytest.approx(rows[1][1])

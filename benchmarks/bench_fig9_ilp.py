@@ -1,0 +1,173 @@
+"""Benchmark: the ILP optimization study (Figures 9a-9f, Section VII.C).
+
+Each test regenerates one figure's series.  Expensive sweeps are computed
+once per session and reused by the figure tests that share their data
+(9a/9b share the 10-relation sweep; 9c/9d/9e the 100-relation sweep).
+
+Run with ``pytest benchmarks/bench_fig9_ilp.py --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.experiments.fig9 import run_point, sweep_num_queries, sweep_query_sizes
+from repro.experiments.reporting import format_series, format_table
+
+NQ_VALUES = [20, 40, 60, 80, 100]
+
+_CACHE = {}
+
+
+def _sweep(num_relations):
+    if num_relations not in _CACHE:
+        _CACHE[num_relations] = sweep_num_queries(
+            num_relations, NQ_VALUES, seed=17, solver="scipy"
+        )
+    return _CACHE[num_relations]
+
+
+def test_fig9a_probe_cost_10_relations(benchmark):
+    """Fig. 9a: probe cost, individual vs MQO, 10 input relations."""
+    points = benchmark.pedantic(lambda: _sweep(10), rounds=1, iterations=1)
+    print("\n=== Fig 9a: probe cost over 10 input relations ===")
+    print(
+        format_table(
+            ["nQ", "distinct", "individual", "MQO", "savings"],
+            [
+                (
+                    p.num_queries,
+                    p.num_distinct,
+                    p.individual_cost,
+                    p.mqo_cost,
+                    f"{100 * p.savings:.0f}%",
+                )
+                for p in points
+            ],
+        )
+    )
+    # paper: significant savings that grow with the number of queries (~50%)
+    assert all(p.mqo_cost <= p.individual_cost + 1e-6 for p in points)
+    assert points[-1].savings > points[0].savings
+    assert points[-1].savings > 0.15
+
+
+def test_fig9b_problem_sizes_10_relations(benchmark):
+    """Fig. 9b: ILP problem sizes over 10 input relations."""
+    points = benchmark.pedantic(lambda: _sweep(10), rounds=1, iterations=1)
+    print("\n=== Fig 9b: problem sizes over 10 input relations ===")
+    print(
+        format_series(
+            "variables", [(p.num_queries, p.num_variables) for p in points]
+        )
+    )
+    print(
+        format_series(
+            "probe orders", [(p.num_queries, p.num_probe_orders) for p in points]
+        )
+    )
+    # paper: sublinear growth (duplicates + shared prefixes); assert that
+    # variables-per-drawn-query do not increase across the sweep
+    per_query_first = points[0].num_variables / points[0].num_queries
+    per_query_last = points[-1].num_variables / points[-1].num_queries
+    assert per_query_last <= per_query_first * 1.35
+
+
+def test_fig9c_probe_cost_100_relations(benchmark):
+    """Fig. 9c: probe cost over 100 input relations (little overlap)."""
+    points = benchmark.pedantic(lambda: _sweep(100), rounds=1, iterations=1)
+    print("\n=== Fig 9c: probe cost over 100 input relations ===")
+    print(
+        format_table(
+            ["nQ", "distinct", "individual", "MQO", "savings"],
+            [
+                (
+                    p.num_queries,
+                    p.num_distinct,
+                    p.individual_cost,
+                    p.mqo_cost,
+                    f"{100 * p.savings:.0f}%",
+                )
+                for p in points
+            ],
+        )
+    )
+    sparse_savings = points[0].savings
+    dense_savings = _sweep(10)[0].savings
+    print(
+        f"savings at nQ=20: 100 relations {100*sparse_savings:.0f}% vs "
+        f"10 relations {100*dense_savings:.0f}% (paper: near zero vs high)"
+    )
+    assert all(p.mqo_cost <= p.individual_cost + 1e-6 for p in points)
+
+
+def test_fig9d_problem_sizes_100_relations(benchmark):
+    """Fig. 9d: problem sizes over 100 input relations (near-linear)."""
+    points = benchmark.pedantic(lambda: _sweep(100), rounds=1, iterations=1)
+    print("\n=== Fig 9d: problem sizes over 100 input relations ===")
+    print(
+        format_series(
+            "variables", [(p.num_queries, p.num_variables) for p in points]
+        )
+    )
+    print(
+        format_series(
+            "probe orders", [(p.num_queries, p.num_probe_orders) for p in points]
+        )
+    )
+    # paper: "Both graphs are not linear but slightly convex. This is
+    # because each new query also adds more possibilities for partitioning
+    # of a store" — assert near-linear growth with bounded convexity.
+    per_query_first = points[0].num_variables / points[0].num_distinct
+    per_query_last = points[-1].num_variables / points[-1].num_distinct
+    assert per_query_last >= per_query_first * 0.8  # no collapse
+    assert per_query_last <= per_query_first * 2.5  # bounded convexity
+
+
+def test_fig9e_runtime_vs_queries(benchmark):
+    """Fig. 9e: optimization runtime vs number of queries (100 relations)."""
+    points = benchmark.pedantic(lambda: _sweep(100), rounds=1, iterations=1)
+    print("\n=== Fig 9e: optimization runtime, 100 input relations ===")
+    print(
+        format_series(
+            "runtime[s]",
+            [(p.num_queries, round(p.optimize_seconds, 3)) for p in points],
+        )
+    )
+    # paper: grows roughly linearly and stays practical
+    assert points[-1].optimize_seconds < 120.0
+    assert points[-1].optimize_seconds >= points[0].optimize_seconds
+
+
+def test_fig9f_runtime_vs_query_size(benchmark):
+    """Fig. 9f: optimization runtime vs query size (log-scale growth)."""
+    points = benchmark.pedantic(
+        lambda: sweep_query_sizes(
+            100, sizes=[3, 4, 5], nq_values=[10, 20, 30], seed=23,
+            solver="scipy",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Fig 9f: optimization runtime by query size ===")
+    rows = {}
+    for p in points:
+        rows.setdefault(p.query_size, {})[p.num_queries] = p.optimize_seconds
+    print(
+        format_table(
+            ["size", "nQ=10", "nQ=20", "nQ=30"],
+            [
+                (
+                    size,
+                    *(
+                        (f"{by_nq[nq]:.3f}s" if nq in by_nq else "-")
+                        for nq in (10, 20, 30)
+                    ),
+                )
+                for size, by_nq in sorted(rows.items())
+            ],
+        )
+    )
+    print("(size-5 capped at nQ=10, no MIR stores — see sweep_query_sizes)")
+    # paper: an order of magnitude per +1 relation; assert steep growth
+    times_nq10 = [rows[size][10] for size in (3, 4, 5)]
+    assert times_nq10[2] > times_nq10[1] > 0
+    assert times_nq10[2] > 3 * times_nq10[0]

@@ -1,0 +1,72 @@
+"""repro — reproduction of *Optimizing Multiple Multi-Way Stream Joins*
+(Dossinger & Michel, ICDE 2021) as a pure-Python library.
+
+The package re-implements the paper's full stack:
+
+* :mod:`repro.core` — the contribution: MIR enumeration, probe-order
+  candidates (Algorithm 1), the Equation-(1) cost model, the multi-query
+  ILP (Algorithm 2), plan extraction, probe trees, and topology translation.
+* :mod:`repro.ilp` — an in-house 0/1 ILP solver stack (simplex + branch and
+  bound) replacing Gurobi, with a scipy/HiGHS cross-check backend.
+* :mod:`repro.engine` — a discrete-event simulated scale-out stream
+  processor replacing Apache Storm, with epoch-based adaptive execution.
+* :mod:`repro.baselines` — binary join pipelines and the FI/SI/FS/SS
+  comparison strategies.
+* :mod:`repro.streams` — TPC-H-shaped streams and random ILP workloads.
+* :mod:`repro.experiments` — drivers regenerating every figure of the paper.
+
+Quickstart::
+
+    from repro import Query, StatisticsCatalog, MultiQueryOptimizer
+
+    q1 = Query.of("q1", "R.a=S.a", "S.b=T.b")
+    q2 = Query.of("q2", "S.b=T.b", "T.c=U.c")
+    catalog = StatisticsCatalog(default_selectivity=0.01)
+    for name in "RSTU":
+        catalog.with_rate(name, 100.0)
+    plan = MultiQueryOptimizer(catalog).optimize([q1, q2]).plan
+    print(plan.describe())
+"""
+
+from .core import (
+    Attribute,
+    ClusterConfig,
+    JoinPredicate,
+    MultiQueryOptimizer,
+    OptimizerConfig,
+    Query,
+    SharedPlan,
+    StatisticsCatalog,
+    StreamRelation,
+    Topology,
+    build_topology,
+)
+from .engine import (
+    AdaptiveRuntime,
+    RuntimeConfig,
+    TopologyRuntime,
+    input_tuple,
+    reference_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveRuntime",
+    "Attribute",
+    "ClusterConfig",
+    "JoinPredicate",
+    "MultiQueryOptimizer",
+    "OptimizerConfig",
+    "Query",
+    "RuntimeConfig",
+    "SharedPlan",
+    "StatisticsCatalog",
+    "StreamRelation",
+    "Topology",
+    "TopologyRuntime",
+    "build_topology",
+    "input_tuple",
+    "reference_join",
+    "__version__",
+]

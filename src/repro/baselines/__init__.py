@@ -1,0 +1,26 @@
+"""Baseline strategies: what Flink/Storm would do without CLASH-MQO.
+
+* :func:`binary_plan` — left-deep binary symmetric-hash-join pipelines
+  (rate-based greedy join order),
+* :func:`build_strategy` — compile a workload under FI / SI / FS / SS /
+  CMQO (Section VII.A's comparison grid).
+"""
+
+from .binary_plan import binary_plan, greedy_join_order
+from .strategies import (
+    STRATEGIES,
+    StrategyResult,
+    build_strategy,
+    combine_topologies,
+    merge_binary_plans,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "StrategyResult",
+    "binary_plan",
+    "build_strategy",
+    "combine_topologies",
+    "greedy_join_order",
+    "merge_binary_plans",
+]

@@ -1,0 +1,203 @@
+"""Binary (left-deep) join pipelines: what Flink/Storm run natively.
+
+The paper's baselines execute each query as a chain of binary symmetric
+hash joins — "static joining ordering, like used in all currently available
+streaming systems" (Section VII.D).  A left-deep pipeline over the order
+``[R1, R2, ..., Rn]`` materializes every prefix intermediate:
+
+* ``R1`` probes ``R2``'s store, the result is stored in the ``R1R2`` store
+  and continues probing ``R3``, and so on;
+* ``Rk`` (k ≥ 3) probes the materialized prefix store ``P_{k-1}`` and
+  continues right-to-left.
+
+This maps exactly onto the reproduction's plan machinery: user probe orders
+through singles/prefix-MIR stores plus maintenance orders delivering every
+prefix.  The join order is chosen with the classic rate-based greedy
+(smallest estimated intermediate first — Viglas/Naughton style), which is
+what the paper's baselines would do with static statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.catalog import StatisticsCatalog
+from ..core.cost import probe_order_steps
+from ..core.ilp_builder import CandidateInfo, maintenance_group, user_group
+from ..core.mir import Mir, input_mir
+from ..core.partitioning import ClusterConfig, DecoratedProbeOrder
+from ..core.plan import SharedPlan
+from ..core.probe_order import ProbeOrder, maintenance_query
+from ..core.query import Query
+from ..core.schema import Attribute
+
+__all__ = ["greedy_join_order", "binary_plan"]
+
+
+def greedy_join_order(query: Query, catalog: StatisticsCatalog) -> List[str]:
+    """Rate-based left-deep order: cheapest connected extension first."""
+    best_pair: Optional[Tuple[float, Tuple[str, str]]] = None
+    for pred in sorted(query.predicates):
+        a, b = sorted(pred.relations)
+        card = catalog.join_cardinality({a, b}, query.predicates)
+        key = (card, (a, b))
+        if best_pair is None or key < best_pair:
+            best_pair = key
+    assert best_pair is not None
+    order = list(best_pair[1])
+    remaining = [r for r in query.relations if r not in order]
+    while remaining:
+        best: Optional[Tuple[float, str]] = None
+        for rel in remaining:
+            if not query.predicates_between(order, {rel}):
+                continue
+            card = catalog.join_cardinality(set(order) | {rel}, query.predicates)
+            key = (card, rel)
+            if best is None or key < best:
+                best = key
+        assert best is not None, "query is connected"
+        order.append(best[1])
+        remaining.remove(best[1])
+    return order
+
+
+def _prefix_mir(query: Query, order: List[str], k: int) -> Mir:
+    """MIR over the first ``k`` relations of the pipeline order."""
+    rels = frozenset(order[:k])
+    return Mir(relations=rels, predicates=query.predicates_within(rels))
+
+
+def _partition_for_next(
+    query: Query, prefix: List[str], next_relation: Optional[str]
+) -> Optional[Attribute]:
+    """Key the prefix store by an attribute joining it with the next input."""
+    if next_relation is None:
+        return None
+    preds = sorted(query.predicates_between(prefix, {next_relation}))
+    if not preds:
+        return None
+    pred = preds[0]
+    inner = (
+        pred.left if pred.left.relation in prefix else pred.right
+    )
+    return inner
+
+
+def binary_plan(
+    query: Query,
+    catalog: StatisticsCatalog,
+    cluster: Optional[ClusterConfig] = None,
+) -> SharedPlan:
+    """A left-deep binary pipeline for one query, as a :class:`SharedPlan`."""
+    cluster = cluster or ClusterConfig()
+    order = greedy_join_order(query, catalog)
+    n = len(order)
+
+    # Stores: inputs + every strict prefix intermediate of size >= 2.
+    singles = {rel: input_mir(rel) for rel in order}
+    prefixes: Dict[int, Mir] = {
+        k: _prefix_mir(query, order, k) for k in range(2, n)
+    }
+
+    # Partitioning: a store is keyed by an attribute joining it with the
+    # pipeline stage that probes it (classic keyed binary hash join).
+    partitioning: Dict[str, Optional[str]] = {}
+    for idx, rel in enumerate(order):
+        probers = [order[1]] if idx == 0 else order[:idx]
+        preds = sorted(query.predicates_between([rel], probers))
+        attr = preds[0].attribute_of(rel) if preds else None
+        partitioning[rel] = str(attr) if attr is not None else None
+    for k, mir in prefixes.items():
+        nxt = order[k] if k < n else None
+        attr = _partition_for_next(query, order[:k], nxt)
+        partitioning[mir.canonical_id] = str(attr) if attr is not None else None
+
+    chosen: Dict[str, CandidateInfo] = {}
+
+    def add_candidate(
+        group: str,
+        sub_query: Query,
+        start: str,
+        sequence: List[Mir],
+        target: Optional[Mir],
+    ) -> None:
+        order_obj = ProbeOrder(
+            query_name=sub_query.name,
+            start=input_mir(start),
+            sequence=tuple(sequence),
+            target=target,
+        )
+        decorated = DecoratedProbeOrder(
+            order=order_obj,
+            partitions=tuple(
+                _attr_or_none(partitioning.get(m.canonical_id)) for m in sequence
+            ),
+        )
+        steps = probe_order_steps(catalog, sub_query, decorated, cluster)
+        activates = tuple(
+            maintenance_group(m, rel)
+            for m in sequence
+            if not m.is_input
+            for rel in sorted(m.relations)
+        )
+        chosen[group] = CandidateInfo(
+            name=f"binary[{group}]",
+            group=group,
+            decorated=decorated,
+            query=sub_query,
+            step_keys=tuple(s.key for s in steps),
+            commitments=decorated.commitments(),
+            activates=activates,
+            pcost=sum(s.cost for s in steps),
+        )
+
+    def pipeline_tail(k: int) -> List[Mir]:
+        """Remaining singles to probe after covering the first k relations."""
+        return [singles[rel] for rel in order[k:]]
+
+    # User probe orders.
+    for idx, rel in enumerate(order):
+        if idx == 0:
+            sequence = [singles[order[1]]] + pipeline_tail(2)
+        elif idx == 1:
+            sequence = [singles[order[0]]] + pipeline_tail(2)
+        else:
+            sequence = [prefixes[idx]] + pipeline_tail(idx + 1)
+        add_candidate(user_group(query.name, rel), query, rel, sequence, None)
+
+    # Maintenance orders for every prefix store.
+    for k, mir in prefixes.items():
+        sub = maintenance_query(mir)
+        for idx in range(k):
+            rel = order[idx]
+            if idx == 0:
+                sequence = [singles[order[1]]] + pipeline_tail(2)[: k - 2]
+            elif idx == 1:
+                sequence = [singles[order[0]]] + pipeline_tail(2)[: k - 2]
+            else:
+                sequence = [prefixes[idx]] + pipeline_tail(idx + 1)[: k - idx - 1]
+            add_candidate(
+                maintenance_group(mir, rel), sub, rel, sequence, mir
+            )
+
+    stores_used = {m.canonical_id: m for m in singles.values()}
+    stores_used.update({m.canonical_id: m for m in prefixes.values()})
+
+    step_costs: Dict[str, float] = {}
+    for info in chosen.values():
+        for step in probe_order_steps(catalog, info.query, info.decorated, cluster):
+            step_costs[step.key] = step.cost
+    objective = sum(step_costs.values())
+
+    return SharedPlan(
+        queries=(query,),
+        chosen=chosen,
+        partitioning=partitioning,
+        objective=objective,
+        stores_used=stores_used,
+    )
+
+
+def _attr_or_none(qualified: Optional[str]) -> Optional[Attribute]:
+    return Attribute.parse(qualified) if qualified else None

@@ -1,0 +1,230 @@
+"""The five execution strategies of the paper's multi-query experiment.
+
+Section VII.A compares:
+
+* **FI** — Flink Independent: one binary-pipeline job per query,
+* **SI** — Storm Independent: same plans, Storm cost profile,
+* **FS** — Flink Shared: per-query binary plans with identical subplans
+  (input stores, prefix intermediates) executed once and shared,
+* **SS** — Storm Shared: likewise on Storm,
+* **CMQO** — CLASH-MQO: the global ILP optimization of this paper.
+
+Every strategy compiles to a single :class:`~repro.core.topology.Topology`
+runnable on the simulated engine: independent strategies use a *disjoint
+union* of per-query topologies (duplicated stores — the paper's 3.1× / 5.3×
+memory overhead emerges from exactly this duplication), shared strategies
+merge per-query plans so structurally identical stores and probe-order
+prefixes coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.catalog import StatisticsCatalog
+from ..core.ilp_builder import OptimizerConfig
+from ..core.optimizer import MultiQueryOptimizer
+from ..core.partitioning import ClusterConfig
+from ..core.plan import SharedPlan
+from ..core.query import Query
+from ..core.topology import Topology, build_topology
+from ..engine.profiles import (
+    CLASH_PROFILE,
+    FLINK_PROFILE,
+    STORM_PROFILE,
+    EngineProfile,
+)
+from .binary_plan import binary_plan
+
+__all__ = ["STRATEGIES", "StrategyResult", "build_strategy", "combine_topologies"]
+
+STRATEGIES = ("FI", "SI", "FS", "SS", "CMQO")
+
+_PROFILES: Dict[str, EngineProfile] = {
+    "FI": FLINK_PROFILE,
+    "FS": FLINK_PROFILE,
+    "SI": STORM_PROFILE,
+    "SS": STORM_PROFILE,
+    "CMQO": CLASH_PROFILE,
+}
+
+
+@dataclass
+class StrategyResult:
+    """A compiled strategy: the deployable topology plus metadata."""
+
+    strategy: str
+    topology: Topology
+    profile: EngineProfile
+    plans: List[SharedPlan]
+    probe_cost: float
+
+    @property
+    def num_stores(self) -> int:
+        return len(self.topology.stores)
+
+
+def build_strategy(
+    strategy: str,
+    queries: Sequence[Query],
+    catalog: StatisticsCatalog,
+    cluster: Optional[ClusterConfig] = None,
+    optimizer_config: Optional[OptimizerConfig] = None,
+    solver: str = "auto",
+) -> StrategyResult:
+    """Compile ``queries`` under one of the five strategies."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    cluster = cluster or ClusterConfig()
+    profile = _PROFILES[strategy]
+
+    if strategy == "CMQO":
+        config = optimizer_config or OptimizerConfig(cluster=cluster)
+        optimizer = MultiQueryOptimizer(catalog, config, solver=solver)
+        result = optimizer.optimize(list(queries))
+        topology = build_topology(result.plan, catalog, cluster)
+        return StrategyResult(
+            strategy=strategy,
+            topology=topology,
+            profile=profile,
+            plans=[result.plan],
+            probe_cost=result.plan.objective,
+        )
+
+    plans = [binary_plan(q, catalog, cluster) for q in queries]
+
+    if strategy in ("FI", "SI"):
+        topologies = [build_topology(p, catalog, cluster) for p in plans]
+        topology = combine_topologies(
+            topologies, prefixes=[q.name for q in queries]
+        )
+        probe_cost = sum(p.objective for p in plans)
+    else:  # FS / SS: merge plans so identical subplans are shared
+        merged = merge_binary_plans(plans, catalog, cluster)
+        topology = build_topology(merged, catalog, cluster)
+        probe_cost = merged.objective
+
+    return StrategyResult(
+        strategy=strategy,
+        topology=topology,
+        profile=profile,
+        plans=plans,
+        probe_cost=probe_cost,
+    )
+
+
+def merge_binary_plans(
+    plans: List[SharedPlan],
+    catalog: StatisticsCatalog,
+    cluster: ClusterConfig,
+) -> SharedPlan:
+    """Naive sharing: union per-query plans, deduplicating identical groups.
+
+    Identical maintenance groups (same MIR, same starting relation) and
+    identical stores coincide by construction of their canonical ids — the
+    "common subplans being executed only once" of Section VII.A.  Conflicting
+    partitioning choices are resolved first-plan-wins; a subplan partitioned
+    differently by two queries stays unshared, as a naive sharing layer
+    (which does not re-plan) would leave it.
+    """
+    from ..core.cost import probe_order_steps
+
+    chosen: Dict[str, object] = {}
+    partitioning: Dict[str, Optional[str]] = {}
+    stores_used = {}
+    queries: List[Query] = []
+    for plan in plans:
+        queries.extend(plan.queries)
+        for group, info in plan.chosen.items():
+            chosen.setdefault(group, info)
+        for store_id, attr in plan.partitioning.items():
+            partitioning.setdefault(store_id, attr)
+        stores_used.update(plan.stores_used)
+
+    # Objective: each shared step is paid once (union over selected orders).
+    step_costs: Dict[str, float] = {}
+    for info in chosen.values():
+        for step in probe_order_steps(catalog, info.query, info.decorated, cluster):
+            step_costs[step.key] = step.cost
+
+    return SharedPlan(
+        queries=tuple(queries),
+        chosen=chosen,
+        partitioning=partitioning,
+        objective=sum(step_costs.values()),
+        stores_used=stores_used,
+    )
+
+
+def combine_topologies(
+    topologies: List[Topology], prefixes: List[str]
+) -> Topology:
+    """Disjoint union of topologies (independent strategies).
+
+    Store ids and edge labels are namespaced per query so *nothing* is
+    shared: every query keeps private copies of every store.  Ingest is
+    keyed by input relation and fans out to all member topologies.
+    """
+    stores = {}
+    edges = {}
+    rulesets: Dict[str, Dict[str, list]] = {}
+    ingest: Dict[str, List[str]] = {}
+    queries = {}
+
+    for topo, prefix in zip(topologies, prefixes):
+        s_map = {sid: f"{prefix}::{sid}" for sid in topo.stores}
+        e_map = {label: f"{prefix}::{label}" for label in topo.edges}
+        for sid, spec in topo.stores.items():
+            stores[s_map[sid]] = _rename_store(spec, s_map[sid])
+        for label, edge in topo.edges.items():
+            edges[e_map[label]] = _rename_edge(edge, e_map[label], s_map)
+        for sid, ruleset in topo.rulesets.items():
+            out = rulesets.setdefault(s_map[sid], {})
+            for label, rules in ruleset.items():
+                out[e_map[label]] = [_rename_rule(r, e_map) for r in rules]
+        for relation, labels in topo.ingest.items():
+            ingest.setdefault(relation, []).extend(e_map[l] for l in labels)
+        queries.update(topo.queries)
+
+    return Topology(
+        stores=stores,
+        edges=edges,
+        rulesets=rulesets,
+        ingest=ingest,
+        queries=queries,
+    )
+
+
+def _rename_store(spec, new_id):
+    from ..core.topology import StoreSpec
+
+    return StoreSpec(
+        store_id=new_id,
+        mir=spec.mir,
+        partition_attr=spec.partition_attr,
+        parallelism=spec.parallelism,
+        retention=spec.retention,
+    )
+
+
+def _rename_edge(edge, new_label, s_map):
+    from ..core.topology import EdgeSpec
+
+    return EdgeSpec(
+        label=new_label,
+        target_store=s_map[edge.target_store],
+        route_by=edge.route_by,
+    )
+
+
+def _rename_rule(rule, e_map):
+    from ..core.topology import ProbeRule, StoreRule
+
+    if isinstance(rule, StoreRule):
+        return rule
+    return ProbeRule(
+        predicates=rule.predicates,
+        out_edges=tuple(e_map[l] for l in rule.out_edges),
+        outputs=rule.outputs,
+    )

@@ -1,0 +1,94 @@
+"""Core of the reproduction: the paper's multi-query optimizer.
+
+Public surface:
+
+* :class:`Query`, :class:`JoinPredicate`, :class:`StreamRelation` — query model
+* :class:`StatisticsCatalog` — rates / windows / selectivities
+* :class:`MultiQueryOptimizer` — end-to-end MQO (Algorithm 1 + 2 + solving)
+* :class:`SharedPlan` / :func:`build_topology` — executable plan artifacts
+"""
+
+from .catalog import StatisticsCatalog
+from .cost import broadcast_factor, probe_order_cost, probe_order_steps, step_cost
+from .ilp_builder import (
+    CandidateInfo,
+    MqoIlp,
+    OptimizerConfig,
+    build_mqo_ilp,
+    maintenance_group,
+    user_group,
+)
+from .mir import Mir, enumerate_mirs, input_mir, merge_mirs
+from .optimizer import IndividualResult, MultiQueryOptimizer, OptimizationResult
+from .partitioning import (
+    ClusterConfig,
+    DecoratedProbeOrder,
+    apply_partitioning,
+    partition_candidates,
+)
+from .plan import SharedPlan, estimate_memory, extract_plan
+from .predicates import JoinPredicate, attribute_closure
+from .probe_order import (
+    ProbeOrder,
+    construct_probe_orders,
+    maintenance_probe_orders,
+    maintenance_query,
+)
+from .probe_tree import ProbeTree, ProbeTreeNode, build_probe_trees
+from .query import CrossProductError, Query
+from .schema import Attribute, StreamRelation
+from .topology import (
+    EdgeSpec,
+    ProbeRule,
+    StoreRule,
+    StoreSpec,
+    Topology,
+    build_topology,
+)
+
+__all__ = [
+    "Attribute",
+    "CandidateInfo",
+    "ClusterConfig",
+    "CrossProductError",
+    "DecoratedProbeOrder",
+    "EdgeSpec",
+    "IndividualResult",
+    "JoinPredicate",
+    "Mir",
+    "MqoIlp",
+    "MultiQueryOptimizer",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "ProbeOrder",
+    "ProbeRule",
+    "ProbeTree",
+    "ProbeTreeNode",
+    "Query",
+    "SharedPlan",
+    "StatisticsCatalog",
+    "StoreRule",
+    "StoreSpec",
+    "StreamRelation",
+    "Topology",
+    "apply_partitioning",
+    "attribute_closure",
+    "broadcast_factor",
+    "build_mqo_ilp",
+    "build_probe_trees",
+    "build_topology",
+    "construct_probe_orders",
+    "enumerate_mirs",
+    "estimate_memory",
+    "extract_plan",
+    "input_mir",
+    "maintenance_group",
+    "maintenance_probe_orders",
+    "maintenance_query",
+    "merge_mirs",
+    "partition_candidates",
+    "probe_order_cost",
+    "probe_order_steps",
+    "step_cost",
+    "user_group",
+]

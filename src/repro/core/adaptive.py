@@ -1,0 +1,161 @@
+"""Adaptive planning: reacting to statistics and query changes (Section VI).
+
+The :class:`AdaptiveController` is the "Decision making" box of Figure 5:
+at every epoch boundary it receives the previous epoch's statistics, re-runs
+the ILP optimizer, and — iff the resulting plan differs from the installed
+one — emits a new topology to take effect one epoch later (statistics from
+epoch *i* influence epoch *i+2*).
+
+It also implements the query lifecycle of Section VI.B: queries can be
+installed or removed at runtime; store reference counts track how many live
+queries each store serves, and stores whose count drops to zero are
+deregistered with the next configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .catalog import StatisticsCatalog
+from .ilp_builder import OptimizerConfig
+from .optimizer import MultiQueryOptimizer
+from .partitioning import ClusterConfig
+from .plan import SharedPlan
+from .query import Query
+from .topology import Topology, build_topology
+
+__all__ = ["AdaptiveController", "plan_signature", "store_refcounts"]
+
+
+def plan_signature(plan: SharedPlan) -> Tuple:
+    """Canonical fingerprint of a plan: chosen orders + partitioning.
+
+    Two plans with the same signature deploy identical topologies, so a
+    reconfiguration is only rolled out when the signature changes.
+    """
+    orders = tuple(
+        (group, str(plan.chosen[group].decorated)) for group in sorted(plan.chosen)
+    )
+    parts = tuple(sorted((k, v or "") for k, v in plan.partitioning.items()))
+    return (orders, parts)
+
+
+def store_refcounts(plan: SharedPlan) -> Dict[str, int]:
+    """Number of queries each store serves (Section VI.B refcounting)."""
+    counts: Dict[str, int] = {store_id: 0 for store_id in plan.stores_used}
+    for query in plan.queries:
+        used: set = set()
+        for group, info in plan.chosen.items():
+            if group.startswith(f"q:{query.name}:"):
+                for mir in info.decorated.order.stores:
+                    used.add(mir.canonical_id)
+                # transitively: MIRs probed imply their maintenance stores
+                for mir in info.decorated.order.sequence:
+                    if not mir.is_input:
+                        for rel in mir.relations:
+                            used.add(rel)
+        for store_id in used:
+            if store_id in counts:
+                counts[store_id] += 1
+    return counts
+
+
+@dataclass
+class DecisionRecord:
+    """One optimizer invocation at an epoch boundary (for inspection/tests)."""
+
+    epoch: int
+    objective: float
+    changed: bool
+    num_queries: int
+
+
+class AdaptiveController:
+    """Re-optimizes the workload from epoch statistics and query changes."""
+
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        queries: Sequence[Query],
+        config: Optional[OptimizerConfig] = None,
+        solver: str = "auto",
+    ) -> None:
+        self.base_catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.solver = solver
+        self.queries: Dict[str, Query] = {q.name: q for q in queries}
+        self.current_plan: Optional[SharedPlan] = None
+        self.current_signature: Optional[Tuple] = None
+        self.decisions: List[DecisionRecord] = []
+        self._dirty = True  # force a decision on first use
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def add_query(self, query: Query) -> None:
+        if query.name in self.queries:
+            raise ValueError(f"query {query.name!r} already installed")
+        self.queries[query.name] = query
+        self._dirty = True
+
+    def remove_query(self, name: str) -> None:
+        if name not in self.queries:
+            raise KeyError(f"query {name!r} is not installed")
+        del self.queries[name]
+        self._dirty = True
+
+    @property
+    def query_list(self) -> List[Query]:
+        return [self.queries[name] for name in sorted(self.queries)]
+
+    def refcounts(self) -> Dict[str, int]:
+        if self.current_plan is None:
+            return {}
+        return store_refcounts(self.current_plan)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def initial_topology(
+        self, cluster: Optional[ClusterConfig] = None
+    ) -> Topology:
+        """Plan and build the first deployment from the base catalog."""
+        plan = self._optimize(self.base_catalog)
+        return build_topology(plan, self.base_catalog, cluster or self.config.cluster)
+
+    def decide(
+        self,
+        epoch: int,
+        measured: StatisticsCatalog,
+        cluster: Optional[ClusterConfig] = None,
+    ) -> Optional[Topology]:
+        """Epoch-boundary decision; returns a topology only when it changed."""
+        if not self.queries:
+            return None
+        plan = self._optimize(measured)
+        signature = plan_signature(plan)
+        changed = self._dirty or signature != self.current_signature
+        self.decisions.append(
+            DecisionRecord(
+                epoch=epoch,
+                objective=plan.objective,
+                changed=changed,
+                num_queries=len(self.queries),
+            )
+        )
+        if not changed:
+            return None
+        self.current_plan = plan
+        self.current_signature = signature
+        self._dirty = False
+        return build_topology(plan, measured, cluster or self.config.cluster)
+
+    def _optimize(self, catalog: StatisticsCatalog) -> SharedPlan:
+        optimizer = MultiQueryOptimizer(catalog, self.config, solver=self.solver)
+        result = optimizer.optimize(self.query_list)
+        if self.current_plan is None:
+            self.current_plan = result.plan
+            self.current_signature = plan_signature(result.plan)
+            self._dirty = False
+        return result.plan

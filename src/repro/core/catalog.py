@@ -1,0 +1,168 @@
+"""Statistics catalog: arrival rates, windows, and join selectivities.
+
+This is the cost model's data source (paper Section IV): per-relation
+arrival rates (tuples per time unit), per-relation window lengths, and
+per-predicate join selectivities.  The catalog estimates join cardinalities
+with the classical independence assumption
+
+    |S_1 ⋈ ... ⋈ S_j|  =  Π rate(S_i) · Π sel(p)    over the predicates p
+                                                      applied within the set,
+
+which exactly reproduces the paper's worked example in Section V.2 (rates
+100, |S ⋈ T| = 150 ⇒ sel = 0.015, first-step cost 100, step costs 75/50).
+
+Rates serve as the per-time-unit cardinality proxy used by Equation (1);
+``stored_tuples`` additionally folds in the window length for memory
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from .predicates import JoinPredicate
+from .query import Query
+from .schema import StreamRelation
+
+__all__ = ["StatisticsCatalog"]
+
+
+def _predicate_key(predicate: JoinPredicate) -> Tuple[str, str]:
+    return (str(predicate.left), str(predicate.right))
+
+
+@dataclass
+class StatisticsCatalog:
+    """Mutable statistics store consulted by the cost model.
+
+    All setters return ``self`` for fluent construction::
+
+        catalog = (
+            StatisticsCatalog()
+            .with_relation(relation_r, rate=100.0)
+            .with_selectivity(pred, 0.015)
+        )
+    """
+
+    default_selectivity: float = 0.01
+    default_window: float = float("inf")
+
+    _rates: Dict[str, float] = field(default_factory=dict)
+    _windows: Dict[str, float] = field(default_factory=dict)
+    _selectivities: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    _relations: Dict[str, StreamRelation] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def with_relation(
+        self,
+        relation: StreamRelation,
+        rate: float,
+        window: Optional[float] = None,
+    ) -> "StatisticsCatalog":
+        if rate <= 0:
+            raise ValueError(f"rate of {relation.name!r} must be positive")
+        self._relations[relation.name] = relation
+        self._rates[relation.name] = float(rate)
+        if window is not None:
+            self._windows[relation.name] = float(window)
+        elif relation.window != float("inf"):
+            self._windows[relation.name] = relation.window
+        return self
+
+    def with_rate(self, relation_name: str, rate: float) -> "StatisticsCatalog":
+        if rate <= 0:
+            raise ValueError(f"rate of {relation_name!r} must be positive")
+        self._rates[relation_name] = float(rate)
+        return self
+
+    def with_window(self, relation_name: str, window: float) -> "StatisticsCatalog":
+        if window <= 0:
+            raise ValueError(f"window of {relation_name!r} must be positive")
+        self._windows[relation_name] = float(window)
+        return self
+
+    def with_selectivity(
+        self, predicate: JoinPredicate, selectivity: float
+    ) -> "StatisticsCatalog":
+        if not 0 < selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        self._selectivities[_predicate_key(predicate)] = float(selectivity)
+        return self
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> Optional[StreamRelation]:
+        return self._relations.get(name)
+
+    @property
+    def relations(self) -> Mapping[str, StreamRelation]:
+        return dict(self._relations)
+
+    def rate(self, relation_name: str) -> float:
+        try:
+            return self._rates[relation_name]
+        except KeyError:
+            raise KeyError(f"no rate registered for relation {relation_name!r}") from None
+
+    def window(self, relation_name: str) -> float:
+        return self._windows.get(relation_name, self.default_window)
+
+    def selectivity(self, predicate: JoinPredicate) -> float:
+        return self._selectivities.get(
+            _predicate_key(predicate), self.default_selectivity
+        )
+
+    def has_rate(self, relation_name: str) -> bool:
+        return relation_name in self._rates
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def join_cardinality(
+        self,
+        relations: Iterable[str],
+        predicates: Iterable[JoinPredicate],
+    ) -> float:
+        """Estimated per-time-unit size of the join over ``relations``.
+
+        Only predicates fully inside the relation set contribute; passing a
+        broader predicate set is allowed for convenience.
+        """
+        group = set(relations)
+        if not group:
+            return 0.0
+        card = 1.0
+        for rel in group:
+            card *= self.rate(rel)
+        for pred in set(predicates):
+            if pred.relations <= group:
+                card *= self.selectivity(pred)
+        return card
+
+    def stored_tuples(self, relation_name: str, query: Optional[Query] = None) -> float:
+        """Expected number of live tuples in a window-bounded store."""
+        window = (
+            query.window_of(relation_name, self.window(relation_name))
+            if query is not None
+            else self.window(relation_name)
+        )
+        if window == float("inf"):
+            raise ValueError(
+                f"cannot size store of {relation_name!r}: unbounded window"
+            )
+        return self.rate(relation_name) * window
+
+    def copy(self) -> "StatisticsCatalog":
+        clone = StatisticsCatalog(
+            default_selectivity=self.default_selectivity,
+            default_window=self.default_window,
+        )
+        clone._rates = dict(self._rates)
+        clone._windows = dict(self._windows)
+        clone._selectivities = dict(self._selectivities)
+        clone._relations = dict(self._relations)
+        return clone

@@ -1,0 +1,196 @@
+"""The probe-cost model: Equation (1) of the paper.
+
+For a probe order σ = ⟨B_1, ..., B_m⟩ over stores B_i (input relations or
+MIRs), step ρ_j sends the partial join of the first j stores to store
+B_{j+1}:
+
+    StepCost(ρ_j) = |⋈ of the relations covered by B_1..B_j| · (1/j) · χ(B_{j+1})
+
+* The cardinality is the catalog's per-time-unit estimate (rates ×
+  selectivities of all query predicates applied within the covered set).
+* 1/j reflects that an arriving tuple only joins tuples that arrived
+  earlier, so each of the j stores contributes the "latest" tuple equally.
+* χ is 1 when the probing tuple determines the target store's partitioning
+  attribute (via the equality closure of the applied predicates), else the
+  target's parallelism — the tuple must be broadcast to every task.
+
+Maintenance probe orders additionally pay a *delivery* step: the final
+result is sent into the MIR store.  The full result tuple knows all
+attributes, so delivery never broadcasts (χ = 1).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from .catalog import StatisticsCatalog
+from .mir import Mir
+from .partitioning import ClusterConfig, DecoratedProbeOrder
+from .predicates import JoinPredicate, attribute_closure
+from .query import Query
+from .schema import Attribute
+
+__all__ = [
+    "broadcast_factor",
+    "step_cost",
+    "delivery_cost",
+    "probe_order_cost",
+    "StepDescription",
+    "probe_order_steps",
+]
+
+
+def broadcast_factor(
+    prefix_relations: FrozenSet[str],
+    target: Mir,
+    partition_attr: Optional[Attribute],
+    parallelism: int,
+    predicates: Iterable[JoinPredicate],
+) -> int:
+    """χ of Equation (1) for probing ``target`` with a prefix result tuple.
+
+    ``predicates`` is the full predicate set of the (sub)query being
+    answered; the closure is computed over the predicates that fall within
+    ``prefix ∪ target`` (those are semantically available at probe time:
+    already-applied prefix predicates, the probing predicates, and the
+    target store's internal equalities).
+    """
+    if parallelism <= 1:
+        return 1
+    if partition_attr is None:
+        return parallelism  # no routable scheme: always broadcast
+    visible = set(prefix_relations) | set(target.relations)
+    relevant = [p for p in predicates if p.relations <= visible]
+    # The probing tuple carries every attribute of every prefix relation;
+    # seeding with the predicate attributes of those relations is enough,
+    # since partitioning attributes always occur in predicates.
+    known = {
+        attr
+        for pred in relevant
+        for attr in (pred.left, pred.right)
+        if attr.relation in prefix_relations
+    }
+    closure = attribute_closure(known, relevant)
+    return 1 if partition_attr in closure else parallelism
+
+
+def step_cost(
+    catalog: StatisticsCatalog,
+    query: Query,
+    prefix_stores: Tuple[Mir, ...],
+    target: Mir,
+    partition_attr: Optional[Attribute],
+    parallelism: int,
+) -> float:
+    """Cost of sending the prefix's partial join result to ``target``."""
+    prefix_relations = frozenset(
+        rel for store in prefix_stores for rel in store.relations
+    )
+    cardinality = catalog.join_cardinality(prefix_relations, query.predicates)
+    divisor = len(prefix_stores)
+    chi = broadcast_factor(
+        prefix_relations, target, partition_attr, parallelism, query.predicates
+    )
+    return cardinality / divisor * chi
+
+
+def delivery_cost(
+    catalog: StatisticsCatalog, query: Query, order_stores: Tuple[Mir, ...]
+) -> float:
+    """Cost of delivering a completed maintenance result into its MIR store.
+
+    Each result tuple is delivered exactly once, by the maintenance order of
+    whichever relation contributed the latest tuple; by symmetry the
+    starting relation accounts for ``1/|relations|`` of the results — the
+    same fraction regardless of the route taken, so equal-start maintenance
+    orders share the delivery step (and its ILP variable).
+    """
+    relations = frozenset(rel for store in order_stores for rel in store.relations)
+    cardinality = catalog.join_cardinality(relations, query.predicates)
+    return cardinality / len(relations)
+
+
+class StepDescription:
+    """One costed step of a decorated probe order (shared ILP ``y`` variable).
+
+    The identity key includes the starting relation, the decorated store
+    prefix (store canonical ids + partitioning attributes), and the applied
+    predicates — two probe orders share a step iff they ship the *same
+    physical tuples along the same route* (Section V: "it is crucial that
+    the same variable y7 is put into the ILP").
+    """
+
+    __slots__ = ("key", "cost", "kind", "description")
+
+    def __init__(self, key: str, cost: float, kind: str, description: str) -> None:
+        self.key = key
+        self.cost = cost
+        self.kind = kind  # "probe" | "deliver"
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"Step({self.description}, cost={self.cost:g})"
+
+
+def probe_order_steps(
+    catalog: StatisticsCatalog,
+    query: Query,
+    decorated: DecoratedProbeOrder,
+    cluster: ClusterConfig,
+) -> List[StepDescription]:
+    """All costed steps of a decorated probe order, including delivery."""
+    steps: List[StepDescription] = []
+    prefix: Tuple[Mir, ...] = (decorated.start,)
+    key_parts: List[str] = [decorated.start.canonical_id]
+
+    prefix_rels = set(decorated.start.relations)
+    applied_preds: set = set()
+
+    for target, attr in decorated.decorated_stores():
+        parallelism = cluster.parallelism(target)
+        cost = step_cost(catalog, query, prefix, target, attr, parallelism)
+        visible = prefix_rels | set(target.relations)
+        applied_preds = {
+            p for p in query.predicates if p.relations <= visible
+        }
+        attr_label = str(attr) if attr is not None else "*"
+        key_parts.append(f"{target.canonical_id}[{attr_label}]")
+        pred_digest = ",".join(sorted(str(p) for p in applied_preds))
+        key = "->".join(key_parts) + f"|{pred_digest}"
+        steps.append(
+            StepDescription(
+                key=key,
+                cost=cost,
+                kind="probe",
+                description=f"{decorated.start}->{target}[{attr_label}]",
+            )
+        )
+        prefix = prefix + (target,)
+        prefix_rels = visible
+
+    if decorated.is_maintenance:
+        assert decorated.target is not None
+        cost = delivery_cost(catalog, query, decorated.order.stores)
+        key = (
+            f"deliver:{decorated.target.canonical_id}"
+            f"<-{decorated.start.canonical_id}"
+        )
+        steps.append(
+            StepDescription(
+                key=key,
+                cost=cost,
+                kind="deliver",
+                description=f"deliver {decorated.start}->{decorated.target}-store",
+            )
+        )
+    return steps
+
+
+def probe_order_cost(
+    catalog: StatisticsCatalog,
+    query: Query,
+    decorated: DecoratedProbeOrder,
+    cluster: ClusterConfig,
+) -> float:
+    """PCost of a single decorated probe order (sum of its step costs)."""
+    return sum(s.cost for s in probe_order_steps(catalog, query, decorated, cluster))

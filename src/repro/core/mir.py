@@ -1,0 +1,113 @@
+"""Materializable intermediate results (MIRs).
+
+An MIR is "a subset of the queried relations and the join predicates defined
+on them such that cross products are avoided" (Section V).  Size-1 MIRs are
+the always-materialized input relations; larger MIRs are optional
+intermediate stores (e.g. an ``RS``-store holding ``R ⋈ S``).
+
+MIR identity is *structural*: the relation set plus the induced predicate
+set.  Two queries that join the same relations with the same predicates
+share the MIR (and hence the store), which is the basis of the paper's
+multi-query sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from .predicates import JoinPredicate
+from .query import Query
+
+__all__ = ["Mir", "enumerate_mirs", "input_mir"]
+
+
+@dataclass(frozen=True)
+class Mir:
+    """A materializable (intermediate) result: relations + induced predicates."""
+
+    relations: FrozenSet[str]
+    predicates: FrozenSet[JoinPredicate]
+
+    def __post_init__(self) -> None:
+        for pred in self.predicates:
+            if not pred.relations <= self.relations:
+                raise ValueError(
+                    f"MIR over {sorted(self.relations)} has foreign predicate {pred}"
+                )
+
+    # Frozensets aren't ordered; sort MIRs by their canonical id.
+    def __lt__(self, other: "Mir") -> bool:
+        return self.canonical_id < other.canonical_id
+
+    @property
+    def size(self) -> int:
+        return len(self.relations)
+
+    @property
+    def is_input(self) -> bool:
+        """True for a single input relation (always materialized)."""
+        return self.size == 1
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name, e.g. ``R`` or ``R+S`` (paper: ``RS``)."""
+        return "+".join(sorted(self.relations))
+
+    @property
+    def canonical_id(self) -> str:
+        """Unambiguous identity string: relations plus induced predicates."""
+        rels = "+".join(sorted(self.relations))
+        preds = ",".join(sorted(str(p) for p in self.predicates))
+        return f"{rels}|{preds}" if preds else rels
+
+    def covers(self, query: Query) -> bool:
+        return self.relations == query.relation_set
+
+    def __str__(self) -> str:
+        return self.display_name
+
+
+def input_mir(relation_name: str) -> Mir:
+    """The trivial MIR of a single input relation."""
+    return Mir(relations=frozenset((relation_name,)), predicates=frozenset())
+
+
+def enumerate_mirs(
+    query: Query,
+    max_size: Optional[int] = None,
+    include_inputs: bool = True,
+) -> List[Mir]:
+    """All MIRs of ``query``: connected relation subsets of size 1..n-1.
+
+    The full relation set is excluded — materializing the complete query
+    result is never probed against by any probe order of the same query.
+    ``max_size`` further caps intermediate sizes (config knob; the paper's
+    analysis notes the 2^n worst case for clique queries).
+    """
+    n = query.size
+    cap = min(max_size if max_size is not None else n - 1, n - 1)
+    mirs: List[Mir] = []
+    if include_inputs:
+        mirs.extend(input_mir(rel) for rel in query.relations)
+    for size in range(2, cap + 1):
+        for subset in combinations(query.relations, size):
+            if not query.is_subquery_connected(subset):
+                continue
+            mirs.append(
+                Mir(
+                    relations=frozenset(subset),
+                    predicates=query.predicates_within(subset),
+                )
+            )
+    return mirs
+
+
+def merge_mirs(per_query: Iterable[List[Mir]]) -> List[Mir]:
+    """Union MIRs from several queries, deduplicating structurally."""
+    seen = {}
+    for mirs in per_query:
+        for mir in mirs:
+            seen.setdefault(mir.canonical_id, mir)
+    return sorted(seen.values())

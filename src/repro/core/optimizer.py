@@ -1,0 +1,135 @@
+"""High-level optimizer facade.
+
+``MultiQueryOptimizer`` ties the pipeline together: enumerate candidates,
+build the ILP (Algorithm 2), warm-start it with the grouped greedy, solve
+with the configured backend, and extract a :class:`SharedPlan`.
+
+``optimize_individual`` optimizes every query in isolation (the paper's
+"Individual" baseline in Figures 9a/9c): same machinery, one single-query
+ILP per query, costs summed without sharing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ilp.greedy import GreedySolution, solve_greedy
+from ..ilp.model import Solution, SolveStatus
+from ..ilp.solvers import SolverMethod, solve_model
+from .catalog import StatisticsCatalog
+from .ilp_builder import MqoIlp, OptimizerConfig, build_mqo_ilp
+from .plan import SharedPlan, extract_plan
+from .query import Query
+
+__all__ = ["MultiQueryOptimizer", "OptimizationResult", "IndividualResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a (multi-)query optimization run."""
+
+    plan: SharedPlan
+    ilp: MqoIlp
+    solution: Solution
+    greedy: Optional[GreedySolution]
+    build_seconds: float
+    solve_seconds: float
+
+    @property
+    def objective(self) -> float:
+        return self.plan.objective
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.solve_seconds
+
+
+@dataclass
+class IndividualResult:
+    """Per-query (non-shared) optimization: the paper's 'Individual' line."""
+
+    results: Dict[str, OptimizationResult]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.plan.objective for r in self.results.values())
+
+    @property
+    def plans(self) -> List[SharedPlan]:
+        return [self.results[name].plan for name in sorted(self.results)]
+
+
+class MultiQueryOptimizer:
+    """Optimizes a workload of multi-way stream join queries jointly.
+
+    Parameters
+    ----------
+    catalog:
+        Statistics source (rates, windows, selectivities).
+    config:
+        ILP construction knobs (MIRs, constraint form, partitioning layer).
+    solver:
+        ``"own"``, ``"scipy"``, or ``"auto"`` (see :mod:`repro.ilp.solvers`).
+    use_greedy_warm_start:
+        Seed branch-and-bound with the grouped greedy solution.
+    """
+
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        config: Optional[OptimizerConfig] = None,
+        solver: SolverMethod | str = SolverMethod.AUTO,
+        use_greedy_warm_start: bool = True,
+        solver_time_limit: Optional[float] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.solver = solver
+        self.use_greedy_warm_start = use_greedy_warm_start
+        self.solver_time_limit = solver_time_limit
+
+    # ------------------------------------------------------------------
+    def build(self, queries: Sequence[Query]) -> MqoIlp:
+        """Construct the ILP without solving (used by the size experiments)."""
+        return build_mqo_ilp(queries, self.catalog, self.config)
+
+    def optimize(self, queries: Sequence[Query]) -> OptimizationResult:
+        """Jointly optimize all queries; raises on infeasibility."""
+        t0 = time.perf_counter()
+        ilp = self.build(queries)
+        t1 = time.perf_counter()
+
+        greedy = None
+        warm_start = None
+        if self.use_greedy_warm_start:
+            greedy = solve_greedy(ilp.grouped)
+            if greedy is not None:
+                warm_start = ilp.warm_start_assignment(greedy)
+
+        solution = solve_model(
+            ilp.model,
+            method=self.solver,
+            warm_start=warm_start,
+            time_limit=self.solver_time_limit,
+        )
+        t2 = time.perf_counter()
+
+        if solution.status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
+            raise RuntimeError(f"MQO ILP solve failed: {solution.status}")
+
+        plan = extract_plan(ilp, solution)
+        return OptimizationResult(
+            plan=plan,
+            ilp=ilp,
+            solution=solution,
+            greedy=greedy,
+            build_seconds=t1 - t0,
+            solve_seconds=t2 - t1,
+        )
+
+    def optimize_individual(self, queries: Sequence[Query]) -> IndividualResult:
+        """Optimize each query in isolation (no cross-query sharing)."""
+        results = {q.name: self.optimize([q]) for q in queries}
+        return IndividualResult(results=results)

@@ -1,0 +1,165 @@
+"""Partitioning candidates and decorated probe orders.
+
+Every store (input relation or MIR) is hash-partitioned by exactly one
+attribute.  Candidate attributes for a store are those "which define a join
+with another relation that is not part of it" (Section V) — computed here
+against the *whole workload*, since a store shared by several queries can be
+probed via different predicates.
+
+A *decorated* probe order annotates every probed store with a concrete
+partitioning attribute (paper notation ``⟨R, S[b], T[c]⟩``); decoration is
+the cross product over each store's candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from .mir import Mir
+from .probe_order import ProbeOrder
+from .query import Query
+from .schema import Attribute
+
+__all__ = [
+    "ClusterConfig",
+    "DecoratedProbeOrder",
+    "partition_candidates",
+    "apply_partitioning",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment knobs: store parallelism (number of partitions/tasks).
+
+    ``parallelism_overrides`` maps a store display name (e.g. ``"S"`` or
+    ``"R+S"``) to its task count; everything else uses the default.  The
+    broadcast factor χ of Equation (1) equals the parallelism of a store
+    whose partitioning attribute the probing tuple cannot determine.
+    """
+
+    default_parallelism: int = 4
+    parallelism_overrides: Tuple[Tuple[str, int], ...] = ()
+
+    def parallelism(self, store: Mir) -> int:
+        for name, value in self.parallelism_overrides:
+            if name == store.display_name:
+                return value
+        return self.default_parallelism
+
+    @staticmethod
+    def with_overrides(default: int = 4, **overrides: int) -> "ClusterConfig":
+        return ClusterConfig(
+            default_parallelism=default,
+            parallelism_overrides=tuple(sorted(overrides.items())),
+        )
+
+
+def partition_candidates(
+    store: Mir, queries: Iterable[Query]
+) -> Tuple[Optional[Attribute], ...]:
+    """Candidate partitioning attributes of a store across the workload.
+
+    An attribute of one of the store's relations qualifies iff some query
+    joins it with a relation outside the store.  If no attribute qualifies
+    (a store only ever used as a final probe target via broadcast), the
+    single candidate ``None`` stands for an arbitrary internal scheme.
+    """
+    candidates = set()
+    for query in queries:
+        if not store.relations <= query.relation_set:
+            continue
+        for pred in query.predicates:
+            rels = pred.relations
+            inside = rels & store.relations
+            outside = rels - store.relations
+            if inside and outside:
+                (inner_rel,) = inside
+                candidates.add(pred.attribute_of(inner_rel))
+    if not candidates:
+        return (None,)
+    return tuple(sorted(candidates))
+
+
+@dataclass(frozen=True)
+class DecoratedProbeOrder:
+    """A probe order whose probed stores carry partitioning attributes."""
+
+    order: ProbeOrder
+    partitions: Tuple[Optional[Attribute], ...]  # aligned with order.sequence
+
+    def __post_init__(self) -> None:
+        if len(self.partitions) != len(self.order.sequence):
+            raise ValueError(
+                "decoration length mismatch: "
+                f"{len(self.partitions)} attrs for {len(self.order.sequence)} stores"
+            )
+
+    @property
+    def start(self) -> Mir:
+        return self.order.start
+
+    @property
+    def start_relation(self) -> str:
+        return self.order.start_relation
+
+    @property
+    def query_name(self) -> str:
+        return self.order.query_name
+
+    @property
+    def is_maintenance(self) -> bool:
+        return self.order.is_maintenance
+
+    @property
+    def target(self) -> Optional[Mir]:
+        return self.order.target
+
+    def decorated_stores(self) -> Tuple[Tuple[Mir, Optional[Attribute]], ...]:
+        """``(store, partition attribute)`` pairs for the probed stores."""
+        return tuple(zip(self.order.sequence, self.partitions))
+
+    def commitments(self) -> Tuple[Tuple[str, str], ...]:
+        """(store canonical id, attribute) pairs this order commits to."""
+        out = []
+        for mir, attr in self.decorated_stores():
+            if attr is not None:
+                out.append((mir.canonical_id, str(attr)))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        parts = [str(self.order.start)]
+        for mir, attr in self.decorated_stores():
+            parts.append(f"{mir}[{attr.name if attr else '*'}]")
+        suffix = f" -> {self.order.target}" if self.order.target is not None else ""
+        return f"<{', '.join(parts)}>{suffix}"
+
+
+def apply_partitioning(
+    orders: Iterable[ProbeOrder],
+    candidates: Mapping[str, Tuple[Optional[Attribute], ...]],
+) -> List[DecoratedProbeOrder]:
+    """Decorate probe orders with every combination of partition choices.
+
+    ``candidates`` maps store canonical ids to their attribute options
+    (see :func:`partition_candidates`).
+    """
+    decorated: List[DecoratedProbeOrder] = []
+    for order in orders:
+        options_per_store = [
+            candidates.get(mir.canonical_id, (None,)) for mir in order.sequence
+        ]
+        for combo in _cross_product(options_per_store):
+            decorated.append(DecoratedProbeOrder(order=order, partitions=combo))
+    return decorated
+
+
+def _cross_product(options: List[Tuple[Optional[Attribute], ...]]):
+    if not options:
+        yield ()
+        return
+    head, *tail = options
+    for choice in head:
+        for rest in _cross_product(tail):
+            yield (choice,) + rest

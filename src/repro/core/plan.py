@@ -1,0 +1,176 @@
+"""Optimized plans extracted from ILP solutions.
+
+A :class:`SharedPlan` is the paper's "assignment of probe order variables"
+(Section V.B): one decorated probe order per (query, starting relation),
+plus maintenance probe orders for every materialized intermediate store the
+plan relies on, plus the global store-partitioning choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ilp.model import Solution, SolveStatus
+from .catalog import StatisticsCatalog
+from .ilp_builder import CandidateInfo, MqoIlp
+from .mir import Mir, input_mir
+from .query import Query
+
+__all__ = ["SharedPlan", "extract_plan", "estimate_memory", "PlanExtractionError"]
+
+
+class PlanExtractionError(RuntimeError):
+    """Raised when an ILP solution cannot be turned into a coherent plan."""
+
+
+@dataclass
+class SharedPlan:
+    """An executable multi-query plan."""
+
+    queries: Tuple[Query, ...]
+    chosen: Dict[str, CandidateInfo]  # group -> selected candidate
+    partitioning: Dict[str, Optional[str]]  # store canonical id -> attribute
+    objective: float
+    stores_used: Dict[str, Mir] = field(default_factory=dict)
+
+    @property
+    def probe_orders(self) -> List[CandidateInfo]:
+        return [self.chosen[g] for g in sorted(self.chosen)]
+
+    def probe_orders_for_query(self, query_name: str) -> List[CandidateInfo]:
+        return [
+            info
+            for group, info in sorted(self.chosen.items())
+            if group.startswith(f"q:{query_name}:")
+        ]
+
+    def maintenance_orders(self) -> List[CandidateInfo]:
+        return [info for info in self.probe_orders if info.is_maintenance]
+
+    @property
+    def mir_stores(self) -> List[Mir]:
+        return sorted(
+            (m for m in self.stores_used.values() if not m.is_input),
+        )
+
+    def partition_attribute(self, store: Mir) -> Optional[str]:
+        return self.partitioning.get(store.canonical_id)
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [f"SharedPlan: {len(self.queries)} queries, cost {self.objective:g}"]
+        for group in sorted(self.chosen):
+            lines.append(f"  {group}: {self.chosen[group].decorated}")
+        if self.mir_stores:
+            names = ", ".join(str(m) for m in self.mir_stores)
+            lines.append(f"  MIR stores: {names}")
+        parts = ", ".join(
+            f"{self.stores_used[sid].display_name}[{attr or '*'}]"
+            for sid, attr in sorted(self.partitioning.items())
+            if sid in self.stores_used
+        )
+        lines.append(f"  partitioning: {parts}")
+        return "\n".join(lines)
+
+
+def extract_plan(ilp: MqoIlp, solution: Solution) -> SharedPlan:
+    """Turn an ILP solution into a :class:`SharedPlan`.
+
+    Only groups reachable from the mandatory (query) groups through MIR
+    activations are included — a solver is free to set stray zero-impact
+    variables, which must not inflate the deployed topology.
+    """
+    if solution.status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
+        raise PlanExtractionError(f"cannot extract plan from {solution.status}")
+
+    selected_by_group: Dict[str, List[CandidateInfo]] = {}
+    for name, var in ilp.x_vars.items():
+        if solution.value(var) > 0.5:
+            info = ilp.candidates[name]
+            selected_by_group.setdefault(info.group, []).append(info)
+
+    chosen: Dict[str, CandidateInfo] = {}
+    pending = list(ilp.mandatory_groups)
+    seen: Set[str] = set()
+    while pending:
+        group = pending.pop()
+        if group in seen:
+            continue
+        seen.add(group)
+        picks = selected_by_group.get(group, [])
+        if len(picks) != 1:
+            raise PlanExtractionError(
+                f"group {group} has {len(picks)} selected probe orders, expected 1"
+            )
+        info = picks[0]
+        chosen[group] = info
+        pending.extend(info.activates)
+
+    # Store partitioning: z variables where present, otherwise commitments.
+    partitioning: Dict[str, Optional[str]] = {}
+    for (store_id, attr), var in ilp.z_vars.items():
+        if solution.value(var) > 0.5:
+            partitioning[store_id] = attr
+    for info in chosen.values():
+        for store_id, attr in info.commitments:
+            partitioning.setdefault(store_id, attr)
+    for store_id, options in ilp.store_options.items():
+        if store_id not in partitioning:
+            first = options[0]
+            partitioning[store_id] = str(first) if first is not None else None
+
+    stores_used: Dict[str, Mir] = {}
+    for query in ilp.queries:
+        for relation in query.relations:
+            mir = input_mir(relation)
+            stores_used[mir.canonical_id] = mir
+    for info in chosen.values():
+        for mir in info.decorated.order.sequence:
+            stores_used[mir.canonical_id] = mir
+        if info.decorated.target is not None:
+            stores_used[info.decorated.target.canonical_id] = (
+                info.decorated.target
+            )
+
+    objective = sum(
+        ilp.steps[key].cost
+        for key in {k for info in chosen.values() for k in info.step_keys}
+    )
+
+    return SharedPlan(
+        queries=ilp.queries,
+        chosen=chosen,
+        partitioning=partitioning,
+        objective=objective,
+        stores_used=stores_used,
+    )
+
+
+def estimate_memory(
+    plan: SharedPlan,
+    catalog: StatisticsCatalog,
+    tuple_bytes: float = 64.0,
+) -> float:
+    """Approximate steady-state state size of the plan's stores, in bytes.
+
+    Input stores hold ``rate × window`` tuples; an MIR store holds the
+    windowed intermediate result (its per-time-unit cardinality times the
+    longest member window).  Tuple width scales with the number of joined
+    relations, mirroring concatenated join results.
+    """
+    total = 0.0
+    for store in plan.stores_used.values():
+        if store.is_input:
+            (relation,) = store.relations
+            tuples = catalog.stored_tuples(relation)
+        else:
+            rate = catalog.join_cardinality(store.relations, store.predicates)
+            window = max(catalog.window(rel) for rel in store.relations)
+            if window == float("inf"):
+                raise ValueError(
+                    f"cannot size MIR store {store}: unbounded window"
+                )
+            tuples = rate * window
+        total += tuples * len(store.relations) * tuple_bytes
+    return total

@@ -1,0 +1,127 @@
+"""Equi-join predicates between pairs of streamed relations.
+
+The paper restricts itself to equi joins of the form ``S_i.a = S_j.b``
+(Section I.A).  Predicates are canonicalized so that the two orientations of
+the same equality compare (and hash) equal — this is what lets MIRs and
+probe-order steps be shared across queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set
+
+from .schema import Attribute
+
+__all__ = ["JoinPredicate", "attribute_closure", "connected_components"]
+
+
+@dataclass(frozen=True, order=True)
+class JoinPredicate:
+    """An equality ``left = right`` between attributes of two relations.
+
+    The constructor canonicalizes orientation (smaller attribute first), so
+    ``JoinPredicate(S.a, R.b) == JoinPredicate(R.b, S.a)``.
+    """
+
+    left: Attribute
+    right: Attribute
+
+    def __post_init__(self) -> None:
+        if self.left.relation == self.right.relation:
+            raise ValueError(
+                f"self-join predicate within {self.left.relation!r} is not supported"
+            )
+        if self.right < self.left:
+            left, right = self.right, self.left
+            object.__setattr__(self, "left", left)
+            object.__setattr__(self, "right", right)
+
+    @staticmethod
+    def of(left: str, right: str) -> "JoinPredicate":
+        """Build from qualified strings: ``JoinPredicate.of("R.a", "S.a")``."""
+        return JoinPredicate(Attribute.parse(left), Attribute.parse(right))
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        return frozenset((self.left.relation, self.right.relation))
+
+    def involves(self, relation: str) -> bool:
+        return relation in (self.left.relation, self.right.relation)
+
+    def attribute_of(self, relation: str) -> Attribute:
+        """The side of the equality belonging to ``relation``."""
+        if self.left.relation == relation:
+            return self.left
+        if self.right.relation == relation:
+            return self.right
+        raise KeyError(f"predicate {self} does not involve {relation!r}")
+
+    def other(self, relation: str) -> Attribute:
+        """The side of the equality *not* belonging to ``relation``."""
+        if self.left.relation == relation:
+            return self.right
+        if self.right.relation == relation:
+            return self.left
+        raise KeyError(f"predicate {self} does not involve {relation!r}")
+
+    def connects(self, group_a: Iterable[str], group_b: Iterable[str]) -> bool:
+        """True if one side is in ``group_a`` and the other in ``group_b``."""
+        a, b = set(group_a), set(group_b)
+        return (self.left.relation in a and self.right.relation in b) or (
+            self.left.relation in b and self.right.relation in a
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+def attribute_closure(
+    known: Iterable[Attribute], predicates: Iterable[JoinPredicate]
+) -> Set[Attribute]:
+    """All attributes whose values are determined by ``known`` under equalities.
+
+    Used for the broadcast factor χ: after probing with equi predicates, an
+    intermediate tuple 'knows' every attribute reachable from its own
+    attributes through the equality graph (Section IV / V of the paper).
+    """
+    known_set: Set[Attribute] = set(known)
+    predicates = list(predicates)
+    changed = True
+    while changed:
+        changed = False
+        for pred in predicates:
+            if pred.left in known_set and pred.right not in known_set:
+                known_set.add(pred.right)
+                changed = True
+            elif pred.right in known_set and pred.left not in known_set:
+                known_set.add(pred.left)
+                changed = True
+    return known_set
+
+
+def connected_components(
+    relations: Iterable[str], predicates: Iterable[JoinPredicate]
+) -> list:
+    """Connected components of the join graph (relations as nodes)."""
+    adjacency = {rel: set() for rel in relations}
+    for pred in predicates:
+        a, b = pred.left.relation, pred.right.relation
+        if a in adjacency and b in adjacency:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    seen: Set[str] = set()
+    components = []
+    for rel in adjacency:
+        if rel in seen:
+            continue
+        stack, comp = [rel], set()
+        while stack:
+            node = stack.pop()
+            if node in comp:
+                continue
+            comp.add(node)
+            stack.extend(adjacency[node] - comp)
+        seen |= comp
+        components.append(frozenset(comp))
+    return components

@@ -1,0 +1,163 @@
+"""Multi-way equi-join queries over streamed relations.
+
+A :class:`Query` is a named, connected join graph over a subset of the
+registered relations (cross products are excluded, as in the paper).  The
+helper methods expose exactly the structure the optimizer needs: induced
+predicates on relation subsets, predicates connecting two groups, and
+per-relation window overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from .predicates import JoinPredicate, connected_components
+from .schema import Attribute
+
+__all__ = ["Query", "CrossProductError"]
+
+
+class CrossProductError(ValueError):
+    """Raised when a query's join graph is not connected."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """An equi-join query ``q(S_1, ..., S_n)`` with pairwise predicates.
+
+    Parameters
+    ----------
+    name:
+        Unique query identifier within a workload.
+    relations:
+        Names of the joined relations (order is irrelevant; stored sorted).
+    predicates:
+        Pairwise equi-join predicates; must connect all relations.
+    windows:
+        Optional per-relation window overrides (defaults come from the
+        catalog / relation declarations).
+    """
+
+    name: str
+    relations: Tuple[str, ...]
+    predicates: FrozenSet[JoinPredicate]
+    windows: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        rels = tuple(sorted(set(self.relations)))
+        object.__setattr__(self, "relations", rels)
+        object.__setattr__(self, "predicates", frozenset(self.predicates))
+        if len(rels) < 2:
+            raise ValueError(f"query {self.name!r} must join at least two relations")
+        for pred in self.predicates:
+            for rel in pred.relations:
+                if rel not in rels:
+                    raise ValueError(
+                        f"query {self.name!r}: predicate {pred} references "
+                        f"relation {rel!r} outside the query"
+                    )
+        components = connected_components(rels, self.predicates)
+        if len(components) != 1:
+            raise CrossProductError(
+                f"query {self.name!r} contains a cross product; components: "
+                f"{sorted(tuple(sorted(c)) for c in components)}"
+            )
+        for rel, window in self.windows:
+            if rel not in rels:
+                raise ValueError(
+                    f"query {self.name!r}: window override for unknown relation {rel!r}"
+                )
+            if window <= 0:
+                raise ValueError(f"query {self.name!r}: window must be positive")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def of(name: str, *equalities: str, windows: Optional[Mapping[str, float]] = None) -> "Query":
+        """Build a query from equality strings: ``Query.of("q", "R.a=S.a", ...)``."""
+        predicates = []
+        for eq in equalities:
+            left, _, right = eq.partition("=")
+            predicates.append(JoinPredicate.of(left.strip(), right.strip()))
+        relations = sorted({rel for p in predicates for rel in p.relations})
+        return Query(
+            name=name,
+            relations=tuple(relations),
+            predicates=frozenset(predicates),
+            windows=tuple(sorted((windows or {}).items())),
+        )
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    @property
+    def relation_set(self) -> FrozenSet[str]:
+        return frozenset(self.relations)
+
+    @property
+    def size(self) -> int:
+        return len(self.relations)
+
+    def window_of(self, relation: str, default: float = float("inf")) -> float:
+        for rel, window in self.windows:
+            if rel == relation:
+                return window
+        return default
+
+    def predicates_within(self, relations: Iterable[str]) -> FrozenSet[JoinPredicate]:
+        """Predicates whose both sides fall inside ``relations``."""
+        group = set(relations)
+        return frozenset(
+            p for p in self.predicates if p.relations <= group
+        )
+
+    def predicates_between(
+        self, group_a: Iterable[str], group_b: Iterable[str]
+    ) -> FrozenSet[JoinPredicate]:
+        """Predicates with one side in each group."""
+        return frozenset(
+            p for p in self.predicates if p.connects(group_a, group_b)
+        )
+
+    def neighbors(self, relations: Iterable[str]) -> FrozenSet[str]:
+        """Relations of the query joinable with the given group."""
+        group = set(relations)
+        out = set()
+        for pred in self.predicates:
+            rels = pred.relations
+            inside, outside = rels & group, rels - group
+            if inside and outside:
+                out |= outside
+        return frozenset(out & set(self.relations))
+
+    def join_attributes(self, relation: str) -> List[Attribute]:
+        """Attributes of ``relation`` used in any predicate of this query."""
+        attrs = {
+            p.attribute_of(relation)
+            for p in self.predicates
+            if p.involves(relation)
+        }
+        return sorted(attrs)
+
+    def is_subquery_connected(self, relations: Iterable[str]) -> bool:
+        group = sorted(set(relations))
+        if not group:
+            return False
+        inner = self.predicates_within(group)
+        return len(connected_components(group, inner)) == 1
+
+    def __str__(self) -> str:
+        preds = ", ".join(sorted(str(p) for p in self.predicates))
+        return f"{self.name}({', '.join(self.relations)} | {preds})"
+
+
+def validate_workload(queries: Iterable[Query]) -> Dict[str, Query]:
+    """Index queries by name, rejecting duplicate names."""
+    out: Dict[str, Query] = {}
+    for query in queries:
+        if query.name in out:
+            raise ValueError(f"duplicate query name {query.name!r}")
+        out[query.name] = query
+    return out

@@ -1,0 +1,82 @@
+"""Streamed relations and their attributes.
+
+The paper's data model (Section I.A): streamed relations ``S1 .. Sm`` whose
+tuples carry named attributes plus a special timestamp attribute ``τ``; a
+per-relation *window* bounds the maximal time difference for joinability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+__all__ = ["Attribute", "StreamRelation", "TIMESTAMP_ATTRIBUTE"]
+
+#: Name of the implicit arrival-timestamp attribute on every tuple.
+TIMESTAMP_ATTRIBUTE = "__tau__"
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A fully qualified attribute ``Relation.name`` (paper: ``S_i.a``)."""
+
+    relation: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.name}"
+
+    @staticmethod
+    def parse(qualified: str) -> "Attribute":
+        """Parse ``"S.a"`` into an :class:`Attribute`."""
+        relation, _, name = qualified.partition(".")
+        if not relation or not name:
+            raise ValueError(f"expected 'Relation.attr', got {qualified!r}")
+        return Attribute(relation, name)
+
+
+@dataclass(frozen=True)
+class StreamRelation:
+    """A streamed input relation.
+
+    Attributes
+    ----------
+    name:
+        Relation identifier, unique within a workload.
+    attributes:
+        Declared attribute names (without the implicit timestamp).
+    window:
+        Default window length in time units: a tuple of this relation is
+        joinable with tuples whose timestamps differ by at most ``window``.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    window: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attribute names in relation {self.name!r}")
+        if self.window <= 0:
+            raise ValueError(f"window of {self.name!r} must be positive")
+
+    def attr(self, name: str) -> Attribute:
+        """Qualified attribute of this relation; validates the name."""
+        if name not in self.attributes:
+            raise KeyError(f"relation {self.name!r} has no attribute {name!r}")
+        return Attribute(self.name, name)
+
+    def has_attr(self, name: str) -> bool:
+        return name in self.attributes
+
+
+def relation_map(relations: Iterable[StreamRelation]) -> dict:
+    """Index relations by name, rejecting duplicates."""
+    out = {}
+    for rel in relations:
+        if rel.name in out:
+            raise ValueError(f"duplicate relation name {rel.name!r}")
+        out[rel.name] = rel
+    return out

@@ -1,0 +1,40 @@
+"""Simulated scale-out stream processor (the Apache Storm substitute).
+
+* :class:`TopologyRuntime` — executes a :class:`~repro.core.topology.Topology`
+  in exact (``logical``) or queueing-simulation (``timed``) mode.
+* :class:`AdaptiveRuntime` — epoch-based re-optimizing runtime (Section VI).
+* :func:`reference_join` — brute-force oracle used by the test suite.
+"""
+
+from .epochs import AdaptiveRuntime, SwitchRecord
+from .metrics import EngineMetrics
+from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
+from .reference import reference_join, result_keys
+from .routing import stable_hash, target_tasks
+from .runtime import MemoryOverflowError, RuntimeConfig, TopologyRuntime
+from .statistics import EpochStatistics
+from .stores import Container, StoreTask, probe_container
+from .tuples import StreamTuple, input_tuple
+
+__all__ = [
+    "AdaptiveRuntime",
+    "CLASH_PROFILE",
+    "Container",
+    "EngineMetrics",
+    "EngineProfile",
+    "EpochStatistics",
+    "FLINK_PROFILE",
+    "MemoryOverflowError",
+    "RuntimeConfig",
+    "STORM_PROFILE",
+    "StoreTask",
+    "StreamTuple",
+    "SwitchRecord",
+    "TopologyRuntime",
+    "input_tuple",
+    "probe_container",
+    "reference_join",
+    "result_keys",
+    "stable_hash",
+    "target_tasks",
+]

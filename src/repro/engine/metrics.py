@@ -1,0 +1,120 @@
+"""Execution metrics collected by the simulated engine.
+
+The paper's headline measurements map to:
+
+* ``tuples_sent`` — the probe cost, the very objective the ILP minimizes
+  (Section III: "We call the number of tuples sent the probe cost").
+* ``throughput`` — processed input tuples / makespan (Section VII.A).
+* ``latencies`` — per result, completion time − trigger arrival time.
+* ``peak_stored_units`` — peak Σ (stored tuples × width), the memory proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["EngineMetrics"]
+
+
+@dataclass
+class EngineMetrics:
+    """Counter bundle; one instance per engine run."""
+
+    inputs_ingested: int = 0
+    messages_sent: int = 0
+    tuples_sent: int = 0
+    probes_executed: int = 0
+    comparisons: int = 0
+    results_emitted: int = 0
+    results_per_query: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    latency_samples: List[tuple] = field(default_factory=list)  # (time, latency)
+    stored_units: float = 0.0
+    peak_stored_units: float = 0.0
+    migrated_tuples: int = 0
+    first_arrival: Optional[float] = None
+    last_completion: float = 0.0
+    failed: bool = False
+    failure_reason: str = ""
+
+    # ------------------------------------------------------------------
+    def on_input(self, arrival_ts: float) -> None:
+        self.inputs_ingested += 1
+        if self.first_arrival is None or arrival_ts < self.first_arrival:
+            self.first_arrival = arrival_ts
+        self.last_completion = max(self.last_completion, arrival_ts)
+
+    def on_send(self, fanout: int) -> None:
+        """A tuple shipped to ``fanout`` tasks (broadcast counts χ times)."""
+        self.messages_sent += fanout
+        self.tuples_sent += fanout
+
+    def on_store(self, width: int) -> None:
+        self.stored_units += width
+        self.peak_stored_units = max(self.peak_stored_units, self.stored_units)
+
+    def on_evict(self, width: int) -> None:
+        self.stored_units -= width
+
+    def on_probe(self, candidates_checked: int) -> None:
+        self.probes_executed += 1
+        self.comparisons += candidates_checked
+
+    def on_result(self, query: str, completion_ts: float, trigger_ts: float) -> None:
+        self.results_emitted += 1
+        self.results_per_query[query] = self.results_per_query.get(query, 0) + 1
+        latency = completion_ts - trigger_ts
+        self.latencies.append(latency)
+        self.latency_samples.append((completion_ts, latency))
+        self.last_completion = max(self.last_completion, completion_ts)
+
+    def on_failure(self, reason: str) -> None:
+        self.failed = True
+        self.failure_reason = reason
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        if self.first_arrival is None:
+            return 0.0
+        return max(self.last_completion - self.first_arrival, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Input tuples per simulated second."""
+        span = self.makespan
+        return self.inputs_ingested / span if span > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def p95_latency(self) -> float:
+        return float(np.percentile(self.latencies, 95)) if self.latencies else 0.0
+
+    def latency_timeline(self, bucket: float) -> List[tuple]:
+        """(bucket_start, mean latency) series for Fig. 8-style plots."""
+        if not self.latency_samples:
+            return []
+        buckets: Dict[int, List[float]] = {}
+        for ts, latency in self.latency_samples:
+            buckets.setdefault(int(ts // bucket), []).append(latency)
+        return [
+            (idx * bucket, float(np.mean(vals)))
+            for idx, vals in sorted(buckets.items())
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "inputs": float(self.inputs_ingested),
+            "tuples_sent": float(self.tuples_sent),
+            "results": float(self.results_emitted),
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "peak_stored_units": self.peak_stored_units,
+            "failed": float(self.failed),
+        }

@@ -1,0 +1,75 @@
+"""Engine cost profiles: per-operation service times for the timed simulator.
+
+The paper compares Apache Flink jobs, plain Apache Storm topologies, and
+CLASH's routing layer on Storm.  We model the observed constant-factor
+differences (Section VII.A: "Flink's throughput is a smidge higher what can
+be explained with the overhead of our routing implementation") as
+per-operation service times of the simulated worker tasks.
+
+All times are in simulated seconds per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineProfile", "FLINK_PROFILE", "STORM_PROFILE", "CLASH_PROFILE"]
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Service-time parameters of a worker task."""
+
+    name: str
+    #: fixed cost of receiving/deserializing one message
+    per_message: float
+    #: cost of one index lookup + candidate scan unit during a probe
+    per_comparison: float
+    #: cost of materializing and shipping one result/intermediate tuple
+    per_result: float
+    #: cost of inserting one tuple into the local store and its indexes
+    per_store: float
+    #: network transfer delay between tasks
+    network_delay: float
+
+    def scaled(self, factor: float) -> "EngineProfile":
+        """A uniformly slower/faster variant (for sensitivity ablations)."""
+        return EngineProfile(
+            name=f"{self.name}x{factor:g}",
+            per_message=self.per_message * factor,
+            per_comparison=self.per_comparison * factor,
+            per_result=self.per_result * factor,
+            per_store=self.per_store * factor,
+            network_delay=self.network_delay * factor,
+        )
+
+
+#: Flink: tightest per-tuple path (operator chaining, no rule lookup).
+FLINK_PROFILE = EngineProfile(
+    name="flink",
+    per_message=1.9e-6,
+    per_comparison=0.010e-6,
+    per_result=0.9e-6,
+    per_store=0.75e-6,
+    network_delay=180e-6,
+)
+
+#: Storm: slightly higher per-message overhead (ack-ing, task dispatch).
+STORM_PROFILE = EngineProfile(
+    name="storm",
+    per_message=2.1e-6,
+    per_comparison=0.010e-6,
+    per_result=1.0e-6,
+    per_store=0.8e-6,
+    network_delay=200e-6,
+)
+
+#: CLASH on Storm: Storm plus the ruleset-routing layer of Section V.B.
+CLASH_PROFILE = EngineProfile(
+    name="clash",
+    per_message=2.35e-6,
+    per_comparison=0.011e-6,
+    per_result=1.05e-6,
+    per_store=0.85e-6,
+    network_delay=200e-6,
+)

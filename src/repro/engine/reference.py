@@ -1,0 +1,81 @@
+"""Reference (brute-force) windowed multi-way join.
+
+Computes query results directly from recorded input streams with nested
+loops — no partitioning, no probe orders, no stores.  This is the oracle the
+engine's output is compared against in the integration and property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from ..core.query import Query
+from .tuples import StreamTuple
+
+__all__ = ["reference_join", "result_keys"]
+
+
+def reference_join(
+    query: Query,
+    streams: Mapping[str, List[StreamTuple]],
+    windows: Mapping[str, float],
+) -> List[StreamTuple]:
+    """All result tuples of ``query`` over the recorded ``streams``.
+
+    Semantics mirror the engine: a result exists for each combination of
+    tuples (one per relation) that satisfies every predicate and every
+    pairwise window constraint; it is triggered by (and timestamped with)
+    the latest contributing tuple.
+    """
+    relations = list(query.relations)
+    results: List[StreamTuple] = []
+
+    def extend(partial: StreamTuple, remaining: List[str]) -> None:
+        if not remaining:
+            results.append(partial)
+            return
+        relation = remaining[0]
+        preds = tuple(
+            query.predicates_between(partial.lineage, {relation})
+        )
+        for candidate in streams.get(relation, []):
+            if not _match(partial, candidate, preds):
+                continue
+            if not partial.within_windows(candidate, windows):
+                continue
+            extend(partial.merge(candidate), remaining[1:])
+
+    first, rest = relations[0], relations[1:]
+    for tup in streams.get(first, []):
+        extend(tup, rest)
+
+    # Re-trigger each result by its latest component (the tuple whose
+    # arrival completes the join) for latency semantics parity.
+    normalized = []
+    for res in results:
+        latest_rel = max(res.timestamps, key=lambda r: res.timestamps[r])
+        normalized.append(
+            StreamTuple(
+                values=res.values,
+                timestamps=res.timestamps,
+                trigger=latest_rel,
+                trigger_ts=res.timestamps[latest_rel],
+            )
+        )
+    return normalized
+
+
+def _match(partial: StreamTuple, candidate: StreamTuple, preds) -> bool:
+    for pred in preds:
+        if pred.left.relation in partial.timestamps:
+            mine, theirs = str(pred.left), str(pred.right)
+        else:
+            mine, theirs = str(pred.right), str(pred.left)
+        if partial.get(mine) != candidate.get(theirs):
+            return False
+    return True
+
+
+def result_keys(results: Iterable[StreamTuple]) -> Set[Tuple]:
+    """Canonical result-set representation for comparisons."""
+    return {r.key() for r in results}

@@ -1,0 +1,38 @@
+"""Hash/broadcast routing of tuples to store tasks.
+
+An :class:`~repro.core.topology.EdgeSpec` names the attribute of the
+*sending* tuple whose value determines the target partition (``route_by``);
+without one the tuple is broadcast to every task of the target store — the
+χ > 1 case of the cost model (Section IV, marker 7 in Figure 2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from ..core.topology import EdgeSpec, StoreSpec
+from .tuples import StreamTuple
+
+__all__ = ["target_tasks", "stable_hash"]
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic, process-independent hash for partitioning."""
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def target_tasks(
+    edge: EdgeSpec, spec: StoreSpec, tup: StreamTuple
+) -> List[int]:
+    """Task indices of ``spec`` that must receive ``tup`` along ``edge``."""
+    if spec.parallelism <= 1:
+        return [0]
+    if edge.route_by is None:
+        return list(range(spec.parallelism))
+    value = tup.get(edge.route_by)
+    if value is None:
+        # The routing attribute is missing from the tuple (should not happen
+        # for well-built topologies); fall back to broadcast for correctness.
+        return list(range(spec.parallelism))
+    return [stable_hash(value) % spec.parallelism]

@@ -1,0 +1,98 @@
+"""Online statistics gathering (Figure 2's "Samples/Measurements/Stats").
+
+During each epoch the runtime records per-relation arrival counts and
+bounded per-attribute value histograms.  At the epoch boundary these yield:
+
+* arrival rates — ``count / epoch length``,
+* join selectivities — for an equi predicate ``A = B``, the histogram dot
+  product  ``Σ_v freq_A(v)·freq_B(v) / (n_A · n_B)``,
+
+which is exactly what the cost model consumes.  The estimates are folded
+into a copy of the base catalog so unobserved relations/predicates keep
+their previous values (the paper's bootstrap concern, Section VI.B).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.catalog import StatisticsCatalog
+from ..core.predicates import JoinPredicate
+from ..core.query import Query
+from .tuples import StreamTuple
+
+__all__ = ["EpochStatistics"]
+
+#: per-attribute histogram size bound (memory guard for high-cardinality data)
+MAX_HISTOGRAM_ENTRIES = 50_000
+
+
+@dataclass
+class EpochStatistics:
+    """Mutable statistics accumulator for one epoch."""
+
+    epoch: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Counter] = field(default_factory=dict)
+    _saturated: set = field(default_factory=set)
+
+    def observe(self, tup: StreamTuple) -> None:
+        """Record an arriving *input* tuple (not intermediates)."""
+        relation = tup.trigger
+        self.counts[relation] = self.counts.get(relation, 0) + 1
+        for attr, value in tup.values.items():
+            if attr in self._saturated:
+                continue
+            hist = self.histograms.setdefault(attr, Counter())
+            hist[value] += 1
+            if len(hist) > MAX_HISTOGRAM_ENTRIES:
+                self._saturated.add(attr)
+
+    # ------------------------------------------------------------------
+    def rate(self, relation: str, epoch_length: float) -> Optional[float]:
+        count = self.counts.get(relation)
+        if not count:
+            return None
+        return count / epoch_length
+
+    def selectivity(self, predicate: JoinPredicate) -> Optional[float]:
+        hist_a = self.histograms.get(str(predicate.left))
+        hist_b = self.histograms.get(str(predicate.right))
+        if not hist_a or not hist_b:
+            return None
+        n_a = sum(hist_a.values())
+        n_b = sum(hist_b.values())
+        if n_a == 0 or n_b == 0:
+            return None
+        smaller, larger = (
+            (hist_a, hist_b) if len(hist_a) <= len(hist_b) else (hist_b, hist_a)
+        )
+        matches = sum(freq * larger.get(value, 0) for value, freq in smaller.items())
+        selectivity = matches / (n_a * n_b)
+        return min(max(selectivity, 1e-12), 1.0)
+
+    # ------------------------------------------------------------------
+    def fold_into(
+        self,
+        base: StatisticsCatalog,
+        queries: Iterable[Query],
+        epoch_length: float,
+    ) -> StatisticsCatalog:
+        """A catalog copy updated with this epoch's measurements."""
+        catalog = base.copy()
+        for relation in self.counts:
+            rate = self.rate(relation, epoch_length)
+            if rate:
+                catalog.with_rate(relation, rate)
+        seen: set = set()
+        for query in queries:
+            for pred in query.predicates:
+                if pred in seen:
+                    continue
+                seen.add(pred)
+                estimate = self.selectivity(pred)
+                if estimate is not None:
+                    catalog.with_selectivity(pred, estimate)
+        return catalog

@@ -1,0 +1,163 @@
+"""Partitioned, windowed, indexed relation stores.
+
+Each :class:`StoreTask` simulates one worker task of a store (one partition).
+It keeps per-epoch containers (Algorithm 4: "for each epoch, an independent
+container is created on each worker together with all aforementioned
+indexes"), hash indexes per accessed attribute ("For each distinct attribute
+access in a store, indices are created locally"), and evicts tuples that
+fell out of the retention window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.predicates import JoinPredicate
+from .tuples import StreamTuple
+
+__all__ = ["Container", "StoreTask", "probe_container"]
+
+
+class Container:
+    """Tuple container with lazy per-attribute hash indexes."""
+
+    __slots__ = ("tuples", "indexes")
+
+    def __init__(self) -> None:
+        self.tuples: List[StreamTuple] = []
+        self.indexes: Dict[str, Dict[object, List[StreamTuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def insert(self, tup: StreamTuple) -> None:
+        self.tuples.append(tup)
+        for attr, index in self.indexes.items():
+            index.setdefault(tup.get(attr), []).append(tup)
+
+    def index_on(self, attr: str) -> Dict[object, List[StreamTuple]]:
+        """Create (on first use) and return the hash index for ``attr``."""
+        index = self.indexes.get(attr)
+        if index is None:
+            index = {}
+            for tup in self.tuples:
+                index.setdefault(tup.get(attr), []).append(tup)
+            self.indexes[attr] = index
+        return index
+
+    def evict_older_than(self, horizon: float) -> int:
+        """Drop tuples whose latest component is older than ``horizon``.
+
+        Returns the summed width of evicted tuples (memory accounting).
+        """
+        if not self.tuples:
+            return 0
+        keep = [t for t in self.tuples if t.latest_ts >= horizon]
+        evicted_width = sum(t.width for t in self.tuples) - sum(
+            t.width for t in keep
+        )
+        if evicted_width:
+            self.tuples = keep
+            # rebuild the touched indexes lazily next time
+            self.indexes = {}
+        return evicted_width
+
+
+@dataclass
+class StoreTask:
+    """One partition (worker task) of a store."""
+
+    store_id: str
+    task_index: int
+    retention: float
+    containers: Dict[int, Container] = field(default_factory=dict)
+    #: timed-mode queueing state: when this server is next idle
+    next_free: float = 0.0
+
+    def container(self, epoch: int) -> Container:
+        cont = self.containers.get(epoch)
+        if cont is None:
+            cont = Container()
+            self.containers[epoch] = cont
+        return cont
+
+    def insert(self, epoch: int, tup: StreamTuple) -> None:
+        self.container(epoch).insert(tup)
+
+    def evict(self, now: float) -> int:
+        """Window-based eviction across all epoch containers."""
+        if self.retention == float("inf"):
+            return 0
+        freed = 0
+        for cont in self.containers.values():
+            freed += cont.evict_older_than(now - self.retention)
+        return freed
+
+    def drop_epochs_before(self, epoch: int) -> int:
+        """Bulk-drop whole epoch containers (epoch-aligned state release)."""
+        freed = 0
+        for key in [e for e in self.containers if e < epoch]:
+            freed += sum(t.width for t in self.containers[key].tuples)
+            del self.containers[key]
+        return freed
+
+    def stored_tuples(self) -> int:
+        return sum(len(c) for c in self.containers.values())
+
+
+def probe_container(
+    container: Container,
+    probe: StreamTuple,
+    predicates: Tuple[JoinPredicate, ...],
+    windows: Dict[str, float],
+    count_comparisons: Optional[Callable[[int], None]] = None,
+) -> List[StreamTuple]:
+    """Find all join partners of ``probe`` in ``container``.
+
+    Uses the hash index of the first predicate, then filters the remaining
+    predicates, the strict arrived-before-trigger order, and the pairwise
+    window conditions.  Matches the local probe handling of Algorithm 3.
+    """
+    if not predicates:
+        candidates: Iterable[StreamTuple] = container.tuples
+    else:
+        first = predicates[0]
+        probe_attr, stored_attr = _orient(first, probe)
+        index = container.index_on(stored_attr)
+        candidates = index.get(probe.get(probe_attr), [])
+
+    results: List[StreamTuple] = []
+    checked = 0
+    for stored in candidates:
+        checked += 1
+        if not stored.arrived_before(probe.trigger_ts):
+            continue
+        if not _satisfies(probe, stored, predicates):
+            continue
+        if not probe.within_windows(stored, windows):
+            continue
+        results.append(probe.merge(stored))
+    if count_comparisons is not None:
+        count_comparisons(checked)
+    return results
+
+
+def _orient(pred: JoinPredicate, probe: StreamTuple) -> Tuple[str, str]:
+    """Return (probe-side attr, stored-side attr) for a predicate."""
+    left_rel = pred.left.relation
+    if left_rel in probe.timestamps:
+        return str(pred.left), str(pred.right)
+    return str(pred.right), str(pred.left)
+
+
+def _satisfies(
+    probe: StreamTuple,
+    stored: StreamTuple,
+    predicates: Tuple[JoinPredicate, ...],
+) -> bool:
+    for pred in predicates:
+        probe_attr, stored_attr = _orient(pred, probe)
+        if probe.get(probe_attr) != stored.get(stored_attr):
+            return False
+    return True

@@ -1,0 +1,114 @@
+"""Stream tuples flowing through the simulated topology.
+
+A :class:`StreamTuple` is either a raw input tuple or a partial join result
+(the concatenation ``r ◦ s ◦ t`` of the paper).  It carries:
+
+* ``values`` — qualified attribute name → value,
+* ``timestamps`` — per contributing relation, the arrival timestamp τ,
+* ``trigger`` / ``trigger_ts`` — the input relation/timestamp that initiated
+  the probe chain; join partners must all have arrived strictly before it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = ["StreamTuple", "input_tuple"]
+
+
+class StreamTuple:
+    """Immutable-by-convention tuple with lineage and timestamps."""
+
+    __slots__ = ("values", "timestamps", "trigger", "trigger_ts")
+
+    def __init__(
+        self,
+        values: Dict[str, object],
+        timestamps: Dict[str, float],
+        trigger: str,
+        trigger_ts: float,
+    ) -> None:
+        self.values = values
+        self.timestamps = timestamps
+        self.trigger = trigger
+        self.trigger_ts = trigger_ts
+
+    # ------------------------------------------------------------------
+    @property
+    def lineage(self) -> FrozenSet[str]:
+        return frozenset(self.timestamps)
+
+    @property
+    def width(self) -> int:
+        """Number of contributing relations (tuple size proxy for memory)."""
+        return len(self.timestamps)
+
+    @property
+    def latest_ts(self) -> float:
+        return max(self.timestamps.values())
+
+    @property
+    def earliest_ts(self) -> float:
+        return min(self.timestamps.values())
+
+    def get(self, qualified_attr: str):
+        return self.values.get(qualified_attr)
+
+    def merge(self, other: "StreamTuple") -> "StreamTuple":
+        """Concatenate with a stored partner; keeps this tuple's trigger."""
+        if self.timestamps.keys() & other.timestamps.keys():
+            raise ValueError("cannot merge tuples with overlapping lineage")
+        values = dict(self.values)
+        values.update(other.values)
+        timestamps = dict(self.timestamps)
+        timestamps.update(other.timestamps)
+        return StreamTuple(
+            values=values,
+            timestamps=timestamps,
+            trigger=self.trigger,
+            trigger_ts=self.trigger_ts,
+        )
+
+    def arrived_before(self, other_trigger_ts: float) -> bool:
+        """True if *all* components arrived strictly before the trigger."""
+        return all(ts < other_trigger_ts for ts in self.timestamps.values())
+
+    def within_windows(
+        self, other: "StreamTuple", windows: Mapping[str, float]
+    ) -> bool:
+        """Pairwise window check between all components of both tuples.
+
+        Components i, j are joinable iff |τi − τj| ≤ min(window_i, window_j)
+        (Section I.A: per-relation windows bound the maximal time distance).
+        """
+        for rel_a, ts_a in self.timestamps.items():
+            w_a = windows.get(rel_a, float("inf"))
+            for rel_b, ts_b in other.timestamps.items():
+                w_b = windows.get(rel_b, float("inf"))
+                if abs(ts_a - ts_b) > min(w_a, w_b):
+                    return False
+        return True
+
+    def key(self) -> Tuple:
+        """Canonical identity (used for result-set comparisons in tests)."""
+        return (
+            tuple(sorted(self.timestamps.items())),
+            tuple(sorted((k, repr(v)) for k, v in self.values.items())),
+        )
+
+    def __repr__(self) -> str:
+        rels = "+".join(sorted(self.timestamps))
+        return f"Tuple[{rels}@{self.trigger_ts:g}]"
+
+
+def input_tuple(
+    relation: str, tau: float, values: Mapping[str, object]
+) -> StreamTuple:
+    """Create a raw input tuple; ``values`` keys are unqualified attr names."""
+    qualified = {f"{relation}.{name}": value for name, value in values.items()}
+    return StreamTuple(
+        values=qualified,
+        timestamps={relation: tau},
+        trigger=relation,
+        trigger_ts=tau,
+    )

@@ -1,0 +1,28 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.fig7` — multi-query performance grid (7b/7c/7d)
+* :mod:`repro.experiments.fig8` — adaptive execution (8a/8b)
+* :mod:`repro.experiments.fig9` — ILP study (9a–9f)
+"""
+
+from .fig7 import Fig7Row, ratio_summary, run_fig7, workload_for
+from .fig8 import Fig8Outcome, LINEAR_QUERY, run_fig8a, run_fig8b
+from .fig9 import Fig9Point, run_point, sweep_num_queries, sweep_query_sizes
+from .reporting import format_series, format_table
+
+__all__ = [
+    "Fig7Row",
+    "Fig8Outcome",
+    "Fig9Point",
+    "LINEAR_QUERY",
+    "format_series",
+    "format_table",
+    "ratio_summary",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_point",
+    "sweep_num_queries",
+    "sweep_query_sizes",
+    "workload_for",
+]

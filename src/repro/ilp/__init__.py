@@ -1,0 +1,48 @@
+"""Integer linear programming substrate.
+
+The paper solves its multi-query optimization ILPs with Gurobi; this package
+replaces it with an in-house stack:
+
+* :mod:`repro.ilp.model` — modeling layer (variables, constraints, objective)
+* :mod:`repro.ilp.simplex` — dense two-phase primal simplex (LP relaxations)
+* :mod:`repro.ilp.bnb` — exact branch-and-bound on top of the simplex
+* :mod:`repro.ilp.greedy` — grouped-selection greedy heuristic (warm starts)
+* :mod:`repro.ilp.scipy_backend` — HiGHS via ``scipy.optimize.milp`` for
+  cross-validation and large instances
+"""
+
+from .bnb import BranchAndBoundSolver
+from .greedy import GroupedCandidate, GroupedProblem, GreedySolution, solve_greedy
+from .model import (
+    Constraint,
+    InfeasibleModelError,
+    LinExpr,
+    Model,
+    Sense,
+    Solution,
+    SolveStatus,
+    Variable,
+    VarType,
+)
+from .scipy_backend import ScipyMilpSolver
+from .solvers import SolverMethod, solve_model
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "GroupedCandidate",
+    "GroupedProblem",
+    "GreedySolution",
+    "InfeasibleModelError",
+    "LinExpr",
+    "Model",
+    "ScipyMilpSolver",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "SolverMethod",
+    "solve_greedy",
+    "solve_model",
+    "Variable",
+    "VarType",
+]

@@ -1,0 +1,187 @@
+"""Branch-and-bound solver for 0/1 and general integer linear programs.
+
+Solves the LP relaxation with the in-house simplex (:mod:`repro.ilp.simplex`),
+then branches on the most fractional integer variable.  Nodes are explored
+best-first on their relaxation bound, so the first integral node popped with
+bound >= incumbent proves optimality.
+
+A warm-start incumbent (e.g. from :mod:`repro.ilp.greedy`) prunes early; an
+LP-rounding heuristic is additionally tried at every node.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .model import Model, Solution, SolveStatus, Variable
+from .simplex import LpResult, solve_lp
+
+__all__ = ["BranchAndBoundSolver", "BnbStats"]
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class BnbStats:
+    nodes_explored: int = 0
+    nodes_pruned: int = 0
+    lp_solves: int = 0
+    wall_time: float = 0.0
+
+
+class BranchAndBoundSolver:
+    """Exact 0/1 (and bounded-integer) ILP solver.
+
+    Parameters
+    ----------
+    node_limit:
+        Maximum branch-and-bound nodes; if exceeded the best incumbent is
+        returned with status ``FEASIBLE`` (or ``ERROR`` if none found).
+    time_limit:
+        Wall-clock budget in seconds (same fallback behaviour).
+    """
+
+    def __init__(
+        self,
+        node_limit: int = 200_000,
+        time_limit: Optional[float] = None,
+        integrality_tol: float = _INT_TOL,
+    ) -> None:
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.integrality_tol = integrality_tol
+
+    def solve(
+        self,
+        model: Model,
+        warm_start: Optional[Mapping[Variable, float]] = None,
+    ) -> Solution:
+        start = time.perf_counter()
+        stats = BnbStats()
+
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_matrices()
+        int_indices = np.array(
+            [v.index for v in model.integer_variables()], dtype=int
+        )
+
+        incumbent_x: Optional[np.ndarray] = None
+        incumbent_obj = np.inf
+        if warm_start is not None and model.is_feasible(warm_start):
+            incumbent_x = np.zeros(model.num_vars)
+            for var, val in warm_start.items():
+                incumbent_x[var.index] = val
+            incumbent_obj = float(c @ incumbent_x)
+
+        # Node = (bound, tiebreak, node_lb, node_ub). Best-first on bound.
+        counter = itertools.count()
+        root = self._solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, lb, ub, stats)
+        if root.status == "infeasible":
+            stats.wall_time = time.perf_counter() - start
+            return Solution(status=SolveStatus.INFEASIBLE, info=self._info(stats))
+        if root.status == "unbounded":
+            stats.wall_time = time.perf_counter() - start
+            return Solution(status=SolveStatus.UNBOUNDED, info=self._info(stats))
+
+        heap = [(root.objective, next(counter), lb, ub, root)]
+        proven_optimal = True
+
+        while heap:
+            if stats.nodes_explored >= self.node_limit or (
+                self.time_limit is not None
+                and time.perf_counter() - start > self.time_limit
+            ):
+                proven_optimal = False
+                break
+
+            bound, _, node_lb, node_ub, relax = heapq.heappop(heap)
+            if bound >= incumbent_obj - 1e-9:
+                stats.nodes_pruned += 1
+                continue
+            stats.nodes_explored += 1
+
+            assert relax.x is not None
+            frac_idx = self._most_fractional(relax.x, int_indices)
+            if frac_idx is None:
+                # Integral relaxation: new incumbent.
+                if relax.objective < incumbent_obj - 1e-9:
+                    incumbent_obj = relax.objective
+                    incumbent_x = self._snap(relax.x, int_indices)
+                continue
+
+            # Rounding heuristic: cheap shot at an incumbent for pruning.
+            rounded = self._snap(relax.x, int_indices)
+            if self._vector_feasible(model, rounded):
+                obj = float(c @ rounded)
+                if obj < incumbent_obj - 1e-9:
+                    incumbent_obj, incumbent_x = obj, rounded
+
+            value = relax.x[frac_idx]
+            for branch in ("down", "up"):
+                child_lb, child_ub = node_lb.copy(), node_ub.copy()
+                if branch == "down":
+                    child_ub[frac_idx] = np.floor(value)
+                else:
+                    child_lb[frac_idx] = np.ceil(value)
+                if child_lb[frac_idx] > child_ub[frac_idx]:
+                    continue
+                child = self._solve_relaxation(
+                    c, a_ub, b_ub, a_eq, b_eq, child_lb, child_ub, stats
+                )
+                if child.status != "optimal":
+                    continue
+                if child.objective >= incumbent_obj - 1e-9:
+                    stats.nodes_pruned += 1
+                    continue
+                heapq.heappush(
+                    heap, (child.objective, next(counter), child_lb, child_ub, child)
+                )
+
+        stats.wall_time = time.perf_counter() - start
+        if incumbent_x is None:
+            status = SolveStatus.INFEASIBLE if proven_optimal else SolveStatus.ERROR
+            return Solution(status=status, info=self._info(stats))
+        status = SolveStatus.OPTIMAL if proven_optimal else SolveStatus.FEASIBLE
+        solution = model.solution_from_vector(incumbent_x, status, **self._info(stats))
+        return solution
+
+    # ------------------------------------------------------------------
+    def _solve_relaxation(self, c, a_ub, b_ub, a_eq, b_eq, lb, ub, stats) -> LpResult:
+        stats.lp_solves += 1
+        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+
+    def _most_fractional(self, x: np.ndarray, int_indices: np.ndarray) -> Optional[int]:
+        if int_indices.size == 0:
+            return None
+        vals = x[int_indices]
+        frac = np.abs(vals - np.round(vals))
+        worst = int(np.argmax(frac))
+        if frac[worst] <= self.integrality_tol:
+            return None
+        return int(int_indices[worst])
+
+    def _snap(self, x: np.ndarray, int_indices: np.ndarray) -> np.ndarray:
+        out = x.copy()
+        out[int_indices] = np.round(out[int_indices])
+        return out
+
+    @staticmethod
+    def _vector_feasible(model: Model, x: np.ndarray) -> bool:
+        assignment: Dict[Variable, float] = {
+            var: float(x[var.index]) for var in model.variables
+        }
+        return model.is_feasible(assignment)
+
+    @staticmethod
+    def _info(stats: BnbStats) -> Dict[str, float]:
+        return {
+            "nodes_explored": float(stats.nodes_explored),
+            "nodes_pruned": float(stats.nodes_pruned),
+            "lp_solves": float(stats.lp_solves),
+            "wall_time": stats.wall_time,
+        }

@@ -1,0 +1,74 @@
+"""ILP backend wrapping ``scipy.optimize.milp`` (HiGHS).
+
+Used (a) to cross-validate the in-house branch-and-bound solver in the test
+suite, and (b) as the default backend for large instances (the paper uses
+Gurobi, an equally external solver, for all instances).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .model import Model, Solution, SolveStatus, VarType, Variable
+
+__all__ = ["ScipyMilpSolver"]
+
+
+class ScipyMilpSolver:
+    """Solve a :class:`repro.ilp.model.Model` with HiGHS via scipy."""
+
+    def __init__(self, time_limit: Optional[float] = None, mip_rel_gap: float = 0.0) -> None:
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+
+    def solve(
+        self,
+        model: Model,
+        warm_start: Optional[Mapping[Variable, float]] = None,  # unused; API parity
+    ) -> Solution:
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_matrices()
+
+        constraints = []
+        if a_ub.shape[0]:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(a_ub), -np.inf * np.ones(a_ub.shape[0]), b_ub
+                )
+            )
+        if a_eq.shape[0]:
+            constraints.append(
+                optimize.LinearConstraint(sparse.csr_matrix(a_eq), b_eq, b_eq)
+            )
+
+        integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in model.variables]
+        )
+        options = {"mip_rel_gap": self.mip_rel_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = self.time_limit
+
+        result = optimize.milp(
+            c=c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=optimize.Bounds(lb, ub),
+            options=options,
+        )
+
+        if result.status == 0 and result.x is not None:
+            x = np.asarray(result.x, dtype=float)
+            # HiGHS can return values a hair off integrality; snap them.
+            int_mask = integrality.astype(bool)
+            x[int_mask] = np.round(x[int_mask])
+            return model.solution_from_vector(x, SolveStatus.OPTIMAL)
+        if result.status == 2:
+            return Solution(status=SolveStatus.INFEASIBLE)
+        if result.status == 3:
+            return Solution(status=SolveStatus.UNBOUNDED)
+        if result.x is not None:
+            x = np.asarray(result.x, dtype=float)
+            return model.solution_from_vector(x, SolveStatus.FEASIBLE)
+        return Solution(status=SolveStatus.ERROR)

@@ -1,0 +1,269 @@
+"""Dense two-phase primal simplex for linear programs.
+
+This is the LP engine underneath :mod:`repro.ilp.bnb`.  It solves
+
+    minimize    c^T x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb <= x <= ub
+
+by shifting ``x`` so lower bounds become zero, materializing finite upper
+bounds as additional ``<=`` rows, and running a textbook two-phase tableau
+simplex (Dantzig pricing with a Bland's-rule fallback for anti-cycling).
+
+The implementation is intentionally dense and simple: the MQO instances the
+paper optimizes have at most a few thousand variables, and correctness is
+cross-validated against ``scipy.optimize.linprog`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LpResult", "solve_lp", "SimplexError"]
+
+_EPS = 1e-9
+
+
+class SimplexError(Exception):
+    """Raised when the simplex cannot make progress (numerical trouble)."""
+
+
+@dataclass
+class LpResult:
+    """Outcome of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    x: Optional[np.ndarray] = None
+    objective: float = float("nan")
+    iterations: int = 0
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    max_iterations: int = 50_000,
+) -> LpResult:
+    """Solve the LP; see module docstring for the canonical form."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+
+    if np.any(lb > ub + _EPS):
+        return LpResult(status="infeasible")
+
+    # Shift x = y + lb so that y >= 0.
+    shift = lb.copy()
+    shift[~np.isfinite(shift)] = 0.0
+
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if a_ub is not None else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).reshape(-1) if b_ub is not None else np.zeros(0)
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if a_eq is not None else np.zeros((0, n))
+    b_eq = np.asarray(b_eq, dtype=float).reshape(-1) if b_eq is not None else np.zeros(0)
+
+    b_ub_shifted = b_ub - a_ub @ shift
+    b_eq_shifted = b_eq - a_eq @ shift
+
+    # Materialize finite upper bounds (on the shifted variable) as <= rows.
+    finite = np.isfinite(ub)
+    if np.any(finite):
+        idx = np.where(finite)[0]
+        bound_rows = np.zeros((idx.size, n))
+        bound_rows[np.arange(idx.size), idx] = 1.0
+        bound_rhs = ub[idx] - shift[idx]
+        if np.any(bound_rhs < -_EPS):
+            return LpResult(status="infeasible")
+        a_ub_full = np.vstack([a_ub, bound_rows])
+        b_ub_full = np.concatenate([b_ub_shifted, bound_rhs])
+    else:
+        a_ub_full, b_ub_full = a_ub, b_ub_shifted
+
+    result = _two_phase(c, a_ub_full, b_ub_full, a_eq, b_eq_shifted, max_iterations)
+    if result.status == "optimal":
+        assert result.x is not None
+        x = result.x + shift
+        result = LpResult(
+            status="optimal",
+            x=x,
+            objective=float(c @ x),
+            iterations=result.iterations,
+        )
+    return result
+
+
+def _two_phase(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    max_iterations: int,
+) -> LpResult:
+    """Two-phase simplex on ``min c x, A_ub x <= b_ub, A_eq x = b_eq, x >= 0``."""
+    n = c.shape[0]
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+
+    # Rows: [A_ub | I_slack | artificials][x, s, a] = b ; [A_eq | 0 | artificials].
+    a = np.zeros((m, n + m_ub))
+    b = np.zeros(m)
+    if m_ub:
+        a[:m_ub, :n] = a_ub
+        a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+        b[:m_ub] = b_ub
+    if m_eq:
+        a[m_ub:, :n] = a_eq
+        b[m_ub:] = b_eq
+
+    # Normalize to b >= 0 (flips slack signs where needed).
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    total_cols = n + m_ub
+
+    # Basis: slack column where it survived normalization with +1, else artificial.
+    basis = np.empty(m, dtype=int)
+    need_artificial = []
+    for i in range(m):
+        if i < m_ub and not neg[i]:
+            basis[i] = n + i
+        else:
+            need_artificial.append(i)
+
+    n_art = len(need_artificial)
+    tableau = np.zeros((m, total_cols + n_art + 1))
+    tableau[:, :total_cols] = a
+    tableau[:, -1] = b
+    for j, row in enumerate(need_artificial):
+        tableau[row, total_cols + j] = 1.0
+        basis[row] = total_cols + j
+
+    iterations = 0
+
+    if n_art:
+        # Phase 1: minimize the sum of artificial variables.
+        cost1 = np.zeros(total_cols + n_art)
+        cost1[total_cols:] = 1.0
+        status, iters = _run_simplex(tableau, basis, cost1, max_iterations)
+        iterations += iters
+        if status != "optimal":
+            raise SimplexError(f"phase-1 simplex returned {status}")
+        phase1_obj = _basic_objective(tableau, basis, cost1)
+        if phase1_obj > 1e-7:
+            return LpResult(status="infeasible", iterations=iterations)
+        _drive_out_artificials(tableau, basis, total_cols)
+        # Freeze artificial columns at zero for phase 2.
+        tableau[:, total_cols : total_cols + n_art] = 0.0
+
+    # Phase 2: original objective over structural + slack columns.
+    cost2 = np.zeros(total_cols + n_art)
+    cost2[:n] = c
+    status, iters = _run_simplex(
+        tableau, basis, cost2, max_iterations, forbidden_from=total_cols
+    )
+    iterations += iters
+    if status == "unbounded":
+        return LpResult(status="unbounded", iterations=iterations)
+    if status != "optimal":
+        raise SimplexError(f"phase-2 simplex returned {status}")
+
+    x = np.zeros(n)
+    for i, col in enumerate(basis):
+        if col < n:
+            x[col] = tableau[i, -1]
+    return LpResult(status="optimal", x=x, objective=float(c @ x), iterations=iterations)
+
+
+def _basic_objective(tableau: np.ndarray, basis: np.ndarray, cost: np.ndarray) -> float:
+    return float(cost[basis] @ tableau[:, -1])
+
+
+def _reduced_costs(tableau: np.ndarray, basis: np.ndarray, cost: np.ndarray) -> np.ndarray:
+    """cost_j - cost_B @ column_j for all columns (excluding rhs)."""
+    cb = cost[basis]
+    return cost - cb @ tableau[:, :-1]
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    max_iterations: int,
+    forbidden_from: Optional[int] = None,
+) -> tuple:
+    """Pivot until optimal/unbounded; mutates tableau and basis in place.
+
+    ``forbidden_from``: columns at or beyond this index may not *enter* the
+    basis (used to keep phase-1 artificials out during phase 2).
+    """
+    m = tableau.shape[0]
+    bland_after = max(1000, 20 * m)  # switch to Bland's rule if we churn
+    for iteration in range(max_iterations):
+        reduced = _reduced_costs(tableau, basis, cost)
+        if forbidden_from is not None:
+            reduced = reduced.copy()
+            reduced[forbidden_from:] = np.inf  # never attractive to enter
+
+        if iteration < bland_after:
+            entering = int(np.argmin(reduced))
+            if reduced[entering] >= -1e-9:
+                return "optimal", iteration
+        else:  # Bland's rule: first negative reduced cost
+            negatives = np.where(reduced < -1e-9)[0]
+            if negatives.size == 0:
+                return "optimal", iteration
+            entering = int(negatives[0])
+
+        column = tableau[:, entering]
+        rhs = tableau[:, -1]
+        positive = column > _EPS
+        if not np.any(positive):
+            return "unbounded", iteration
+
+        ratios = np.full(m, np.inf)
+        ratios[positive] = rhs[positive] / column[positive]
+        min_ratio = ratios.min()
+        # Tie-break on the smallest basis index (anti-cycling).
+        candidates = np.where(ratios <= min_ratio + _EPS)[0]
+        leaving = int(candidates[np.argmin(basis[candidates])])
+
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+
+    raise SimplexError("simplex iteration limit exceeded")
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    pivot = tableau[row, col]
+    tableau[row] /= pivot
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row])
+
+
+def _drive_out_artificials(tableau: np.ndarray, basis: np.ndarray, total_cols: int) -> None:
+    """Replace basic artificial columns with structural ones where possible.
+
+    After phase 1 an artificial can remain basic at value zero; pivot it out
+    on any structural column with a nonzero coefficient, or drop the row as
+    redundant (all-zero row).
+    """
+    for i in range(tableau.shape[0]):
+        if basis[i] >= total_cols:
+            row = tableau[i, :total_cols]
+            nonzero = np.where(np.abs(row) > 1e-7)[0]
+            if nonzero.size:
+                _pivot(tableau, i, int(nonzero[0]))
+                basis[i] = int(nonzero[0])
+            # else: redundant row; leaving the zero-valued artificial basic
+            # is harmless because its column is frozen in phase 2.

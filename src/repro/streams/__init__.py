@@ -1,0 +1,36 @@
+"""Synthetic data streams: generic generators, the TPC-H-shaped workload of
+Section VII.A, and the random ILP workloads of Section VII.C."""
+
+from .generators import (
+    StreamSpec,
+    generate_streams,
+    merge_streams,
+    partnered_streams,
+    shifting_domain,
+    uniform_domain,
+)
+from .tpch import (
+    TPCH_RELATIONS,
+    five_query_workload,
+    ten_query_workload,
+    tpch_catalog,
+    tpch_specs,
+)
+from .workloads import IlpEnvironment, make_environment, random_queries
+
+__all__ = [
+    "IlpEnvironment",
+    "StreamSpec",
+    "TPCH_RELATIONS",
+    "five_query_workload",
+    "generate_streams",
+    "make_environment",
+    "merge_streams",
+    "partnered_streams",
+    "random_queries",
+    "shifting_domain",
+    "ten_query_workload",
+    "tpch_catalog",
+    "tpch_specs",
+    "uniform_domain",
+]

@@ -1,0 +1,133 @@
+"""Synthetic stream generators.
+
+Provides the building blocks for the paper's experiments:
+
+* :class:`StreamSpec` + :func:`generate_streams` — Poisson-ish arrivals with
+  configurable per-attribute value domains,
+* :func:`partnered_streams` — the Figure 8 workload: "join attributes set
+  such that each tuple will be part of one join result", with a mid-run
+  characteristics shift injected by a time-dependent domain function.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..engine.tuples import StreamTuple, input_tuple
+
+__all__ = [
+    "StreamSpec",
+    "generate_streams",
+    "merge_streams",
+    "partnered_streams",
+]
+
+#: value generator: (rng, time) -> value
+ValueGen = Callable[[random.Random, float], object]
+
+
+@dataclass
+class StreamSpec:
+    """Specification of one synthetic input stream."""
+
+    relation: str
+    rate: float  # tuples per time unit
+    attributes: Dict[str, ValueGen]
+
+
+def uniform_domain(size: int) -> ValueGen:
+    """Values drawn uniformly from ``0..size-1`` (join selectivity 1/size)."""
+
+    def gen(rng: random.Random, _now: float) -> int:
+        return rng.randrange(size)
+
+    return gen
+
+
+def shifting_domain(size_fn: Callable[[float], int]) -> ValueGen:
+    """Uniform domain whose size changes over time (Fig. 8 style shifts)."""
+
+    def gen(rng: random.Random, now: float) -> int:
+        return rng.randrange(max(1, size_fn(now)))
+
+    return gen
+
+
+def generate_streams(
+    specs: Iterable[StreamSpec],
+    duration: float,
+    seed: int = 0,
+) -> Tuple[Dict[str, List[StreamTuple]], List[StreamTuple]]:
+    """Generate per-relation streams and their merged, time-ordered feed.
+
+    Arrivals are evenly spaced with ±25% jitter around each stream's period
+    (deterministic given the seed), which keeps rates exact while avoiding
+    timestamp collisions across streams.
+    """
+    rng = random.Random(seed)
+    streams: Dict[str, List[StreamTuple]] = {}
+    for spec in specs:
+        period = 1.0 / spec.rate
+        tuples: List[StreamTuple] = []
+        t = rng.random() * period
+        while t < duration:
+            values = {
+                name: gen(rng, t) for name, gen in spec.attributes.items()
+            }
+            tuples.append(input_tuple(spec.relation, t, values))
+            t += period * (0.75 + 0.5 * rng.random())
+        streams[spec.relation] = tuples
+    return streams, merge_streams(streams)
+
+
+def merge_streams(
+    streams: Mapping[str, List[StreamTuple]]
+) -> List[StreamTuple]:
+    """Merge per-relation streams into one timestamp-ordered feed."""
+    merged = [t for tuples in streams.values() for t in tuples]
+    merged.sort(key=lambda t: t.trigger_ts)
+    return merged
+
+
+def partnered_streams(
+    relations: List[Tuple[str, List[str]]],
+    rates: Mapping[str, float],
+    duration: float,
+    partner_window: float,
+    seed: int = 0,
+    domain_scale: float = 2.0,
+    shift_at: Optional[float] = None,
+    shifted_domain_scale: float = 0.05,
+    shifted_attrs: Optional[Iterable[str]] = None,
+) -> Tuple[Dict[str, List[StreamTuple]], List[StreamTuple]]:
+    """Streams tuned so roughly half the tuples find join partners.
+
+    Each join attribute draws from a domain proportional to
+    ``rate × partner_window × domain_scale``; with ``domain_scale=2`` an
+    arriving tuple expects ~0.5 partners in the window ("half of the tuples
+    find join partners during probing", Section VII.B).  After ``shift_at``
+    the attributes named in ``shifted_attrs`` (qualified, e.g. ``"S.b"``)
+    switch to a domain scaled by ``shifted_domain_scale`` — drastically
+    increasing the join selectivity, which is the Figure 8a event.
+    """
+    shifted = set(shifted_attrs or ())
+    specs = []
+    for relation, attrs in relations:
+        attr_gens: Dict[str, ValueGen] = {}
+        for attr in attrs:
+            qualified = f"{relation}.{attr}"
+            base = max(2, int(rates[relation] * partner_window * domain_scale))
+            small = max(1, int(base * shifted_domain_scale))
+
+            def gen(rng, now, base=base, small=small, q=qualified):
+                if shift_at is not None and now >= shift_at and q in shifted:
+                    return rng.randrange(small)
+                return rng.randrange(base)
+
+            attr_gens[attr] = gen
+        specs.append(
+            StreamSpec(relation=relation, rate=rates[relation], attributes=attr_gens)
+        )
+    return generate_streams(specs, duration, seed=seed)

@@ -1,0 +1,187 @@
+"""TPC-H-shaped streaming workload (Section VII.A's data and queries).
+
+The paper streams TPC-H SF-10 tables through Kafka and builds join queries
+"based on present primary, foreign keys and, additionally, type compatible
+data" — a mixture of PK/FK joins, high-selectivity tiny-domain joins
+(``lineitem.linestatus = orders.orderstatus``) and low-selectivity
+partial-overlap joins (``customer.custkey = nation.nationkey``).
+
+Here the tables become synthetic streams that keep the *ratios*: arrival
+rates proportional to table cardinalities (dimension streams floored so a
+window actually contains joinable dimension tuples at laptop scale) and key
+domains giving the same selectivity structure.  Only relative sizes and
+selectivities enter the cost model and the engine, so the experiment shapes
+are preserved (see DESIGN.md, substitution #3).
+
+Relation short names follow Figure 7a: R(egion), N(ation), S(upplier),
+PS (partsupp), P(art), L(ineitem), O(rders), C(ustomer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.catalog import StatisticsCatalog
+from ..core.predicates import JoinPredicate
+from ..core.query import Query
+from ..core.schema import StreamRelation
+from .generators import StreamSpec, uniform_domain
+
+__all__ = [
+    "TPCH_RELATIONS",
+    "tpch_catalog",
+    "tpch_specs",
+    "five_query_workload",
+    "ten_query_workload",
+]
+
+#: key-domain sizes (micro-scale surrogate for TPC-H cardinalities; large
+#: enough that PK/FK intermediates stay small next to the input state, as
+#: with real TPC-H key domains)
+KEY_DOMAINS: Dict[str, int] = {
+    "regionkey": 5,
+    "nationkey": 25,
+    "suppkey": 400,
+    "custkey": 600,
+    "partkey": 800,
+    "orderkey": 1600,
+}
+
+#: tiny status domains driving the paper's high-selectivity joins
+STATUS_DOMAIN = 3  # F / O / P
+
+#: relative arrival rates (TPC-H size ratios, dimensions floored)
+RATE_WEIGHTS: Dict[str, float] = {
+    "R": 1.0,
+    "N": 2.0,
+    "S": 10.0,
+    "C": 20.0,
+    "P": 25.0,
+    "PS": 50.0,
+    "O": 80.0,
+    "L": 150.0,
+}
+
+#: relation -> (attribute, key domain name or "status")
+_SCHEMA: Dict[str, List[Tuple[str, str]]] = {
+    "R": [("regionkey", "regionkey")],
+    "N": [("nationkey", "nationkey"), ("regionkey", "regionkey")],
+    "S": [("suppkey", "suppkey"), ("nationkey", "nationkey")],
+    "C": [("custkey", "custkey"), ("nationkey", "nationkey")],
+    "P": [("partkey", "partkey")],
+    "PS": [("partkey", "partkey"), ("suppkey", "suppkey")],
+    "O": [
+        ("orderkey", "orderkey"),
+        ("custkey", "custkey"),
+        ("orderstatus", "status"),
+    ],
+    "L": [
+        ("orderkey", "orderkey"),
+        ("partkey", "partkey"),
+        ("suppkey", "suppkey"),
+        ("linestatus", "status"),
+    ],
+}
+
+TPCH_RELATIONS: Dict[str, StreamRelation] = {
+    name: StreamRelation(name, tuple(attr for attr, _ in attrs))
+    for name, attrs in _SCHEMA.items()
+}
+
+
+def _domain(kind: str) -> int:
+    return STATUS_DOMAIN if kind == "status" else KEY_DOMAINS[kind]
+
+
+def tpch_specs(total_rate: float = 100.0) -> List[StreamSpec]:
+    """Stream specs with rates proportional to table-size weights."""
+    weight_sum = sum(RATE_WEIGHTS.values())
+    specs = []
+    for name, attrs in _SCHEMA.items():
+        rate = total_rate * RATE_WEIGHTS[name] / weight_sum
+        specs.append(
+            StreamSpec(
+                relation=name,
+                rate=rate,
+                attributes={
+                    attr: uniform_domain(_domain(kind)) for attr, kind in attrs
+                },
+            )
+        )
+    return specs
+
+
+def tpch_catalog(
+    total_rate: float = 100.0, window: float = 10.0
+) -> StatisticsCatalog:
+    """Catalog with the workload's rates, windows, and selectivities.
+
+    Selectivity of an equi join between two uniform attributes over domains
+    ``d1``/``d2`` drawn from the same value universe is ``1/max(d1, d2)``
+    (the partial-overlap effect: ``custkey = nationkey`` matches only the 25
+    lowest customer keys).
+    """
+    catalog = StatisticsCatalog(default_selectivity=0.01, default_window=window)
+    weight_sum = sum(RATE_WEIGHTS.values())
+    for name, relation in TPCH_RELATIONS.items():
+        catalog.with_relation(
+            relation,
+            rate=total_rate * RATE_WEIGHTS[name] / weight_sum,
+            window=window,
+        )
+    domains = {
+        f"{name}.{attr}": _domain(kind)
+        for name, attrs in _SCHEMA.items()
+        for attr, kind in attrs
+    }
+    for query in ten_query_workload():
+        for pred in query.predicates:
+            d1 = domains[str(pred.left)]
+            d2 = domains[str(pred.right)]
+            catalog.with_selectivity(pred, 1.0 / max(d1, d2))
+    return catalog
+
+
+def five_query_workload() -> List[Query]:
+    """The five 4-way query graphs of Figure 7a."""
+    return [
+        Query.of(
+            "q1", "R.regionkey=N.regionkey", "N.nationkey=S.nationkey",
+            "S.suppkey=PS.suppkey",
+        ),
+        Query.of(
+            "q2", "N.nationkey=S.nationkey", "S.suppkey=PS.suppkey",
+            "PS.partkey=P.partkey",
+        ),
+        Query.of(
+            "q3", "S.suppkey=PS.suppkey", "PS.partkey=P.partkey",
+            "P.partkey=L.partkey",
+        ),
+        Query.of(
+            "q4", "S.suppkey=PS.suppkey", "PS.partkey=L.partkey",
+            "L.orderkey=O.orderkey",
+        ),
+        Query.of(
+            "q5", "P.partkey=PS.partkey", "PS.suppkey=L.suppkey",
+            "L.orderkey=O.orderkey",
+        ),
+    ]
+
+
+def ten_query_workload() -> List[Query]:
+    """Five more queries "with additionally more partly overlapping joins".
+
+    q6–q10 add the paper's selectivity mixture: PK/FK chains through
+    customer/orders/lineitem, the tiny-domain status join (q8), and the
+    partial-overlap ``custkey = nationkey`` join (q9).
+    """
+    return five_query_workload() + [
+        Query.of("q6", "C.custkey=O.custkey", "O.orderkey=L.orderkey"),
+        Query.of("q7", "N.nationkey=C.nationkey", "C.custkey=O.custkey"),
+        Query.of("q8", "L.linestatus=O.orderstatus", "O.custkey=C.custkey"),
+        Query.of("q9", "C.custkey=N.nationkey", "N.regionkey=R.regionkey"),
+        Query.of(
+            "q10", "P.partkey=PS.partkey", "PS.suppkey=S.suppkey",
+            "S.nationkey=N.nationkey",
+        ),
+    ]

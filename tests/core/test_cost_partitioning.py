@@ -1,0 +1,261 @@
+"""Tests for partitioning candidates and the Equation (1) cost model."""
+
+import pytest
+
+from repro.core.catalog import StatisticsCatalog
+from repro.core.cost import (
+    broadcast_factor,
+    delivery_cost,
+    probe_order_cost,
+    probe_order_steps,
+    step_cost,
+)
+from repro.core.mir import Mir, enumerate_mirs, input_mir
+from repro.core.partitioning import (
+    ClusterConfig,
+    DecoratedProbeOrder,
+    apply_partitioning,
+    partition_candidates,
+)
+from repro.core.predicates import JoinPredicate
+from repro.core.probe_order import construct_probe_orders, maintenance_probe_orders
+from repro.core.query import Query
+from repro.core.schema import Attribute
+
+
+@pytest.fixture()
+def q1():
+    return Query.of("q1", "R.b=S.b", "S.c=T.c")
+
+
+@pytest.fixture()
+def q2():
+    return Query.of("q2", "S.c=T.c", "T.d=U.d")
+
+
+@pytest.fixture()
+def catalog():
+    cat = StatisticsCatalog(default_selectivity=0.01)
+    for rel in "RSTU":
+        cat.with_rate(rel, 100.0)
+    return cat
+
+
+class TestPartitionCandidates:
+    def test_input_relation_candidates(self, q1, q2):
+        t_store = input_mir("T")
+        attrs = partition_candidates(t_store, [q1, q2])
+        assert attrs == (Attribute("T", "c"), Attribute("T", "d"))
+
+    def test_paper_example_mir_candidates(self):
+        """Sec V: for (R(a),S(a,b)) of R(a),S(a,b),T(b): only b qualifies."""
+        q = Query.of("q", "R.a=S.a", "S.b=T.b")
+        rs = next(
+            m for m in enumerate_mirs(q) if m.relations == frozenset({"R", "S"})
+        )
+        attrs = partition_candidates(rs, [q])
+        assert attrs == (Attribute("S", "b"),)
+
+    def test_no_candidates_yields_none_sentinel(self):
+        q = Query.of("q", "R.a=S.a")
+        unrelated = input_mir("Z")
+        assert partition_candidates(unrelated, [q]) == (None,)
+
+    def test_workload_wide_union(self, q1, q2):
+        s_store = input_mir("S")
+        attrs = partition_candidates(s_store, [q1, q2])
+        # q1 contributes S.b and S.c; q2 contributes S.c
+        assert attrs == (Attribute("S", "b"), Attribute("S", "c"))
+
+
+class TestApplyPartitioning:
+    def test_cross_product_of_options(self, q1, q2):
+        """Fig. 3: q1's R-orders decorate into sigma_1..sigma_6."""
+        from repro.core.mir import merge_mirs
+
+        mirs = merge_mirs([enumerate_mirs(q1), enumerate_mirs(q2)])
+        candidates = {
+            m.canonical_id: partition_candidates(m, [q1, q2]) for m in mirs
+        }
+        orders = construct_probe_orders(q1, mirs)
+        decorated = apply_partitioning(orders["R"], candidates)
+        # <R,S,T>: S has {b,c}, T has {c,d} -> 4; <R,S+T>: S+T has {b,d} -> 2
+        assert len(decorated) == 6
+
+    def test_decoration_length_validated(self, q1):
+        order = construct_probe_orders(q1, enumerate_mirs(q1))["R"][0]
+        with pytest.raises(ValueError):
+            DecoratedProbeOrder(order=order, partitions=())
+
+    def test_commitments_skip_none(self, q1):
+        singles = [input_mir(r) for r in q1.relations]
+        orders = construct_probe_orders(q1, singles)
+        decorated = apply_partitioning(orders["R"], {"S": (None,), "T": (None,)})
+        assert decorated[0].commitments() == ()
+
+
+class TestBroadcastFactor:
+    def test_parallelism_one_never_broadcasts(self, q1):
+        chi = broadcast_factor(
+            frozenset({"R"}), input_mir("S"), Attribute("S", "zzz"), 1, q1.predicates
+        )
+        assert chi == 1
+
+    def test_known_attribute_routes(self, q1):
+        # R tuple knows R.b = S.b, so probing S[b] routes to one task.
+        chi = broadcast_factor(
+            frozenset({"R"}), input_mir("S"), Attribute("S", "b"), 5, q1.predicates
+        )
+        assert chi == 1
+
+    def test_unknown_attribute_broadcasts(self, q1):
+        # R tuple cannot determine S.c (only S.b): broadcast to all 5 tasks.
+        chi = broadcast_factor(
+            frozenset({"R"}), input_mir("S"), Attribute("S", "c"), 5, q1.predicates
+        )
+        assert chi == 5
+
+    def test_closure_through_target_internal_predicates(self, q1, q2):
+        """Probing the S+T store partitioned on T.c: S.c=T.c makes it known
+        from R via R.b=S.b? No - but partitioned on S.b it is reachable."""
+        st = next(
+            m for m in enumerate_mirs(q1) if m.relations == frozenset({"S", "T"})
+        )
+        chi_b = broadcast_factor(
+            frozenset({"R"}), st, Attribute("S", "b"), 4, q1.predicates
+        )
+        assert chi_b == 1
+        # T.c is equal to S.c (internal), but R knows neither -> broadcast.
+        chi_c = broadcast_factor(
+            frozenset({"R"}), st, Attribute("T", "c"), 4, q1.predicates
+        )
+        assert chi_c == 4
+
+    def test_none_partitioning_broadcasts(self, q1):
+        chi = broadcast_factor(
+            frozenset({"R"}), input_mir("S"), None, 3, q1.predicates
+        )
+        assert chi == 3
+
+
+class TestStepCosts:
+    def test_first_step_cost_is_rate(self, q1, catalog):
+        cost = step_cost(
+            catalog, q1, (input_mir("S"),), input_mir("T"), Attribute("T", "c"), 1
+        )
+        assert cost == pytest.approx(100.0)
+
+    def test_second_step_cost_halved(self, q1, catalog):
+        catalog.with_selectivity(JoinPredicate.of("S.c", "T.c"), 0.015)
+        cost = step_cost(
+            catalog,
+            q1,
+            (input_mir("S"), input_mir("T")),
+            input_mir("R"),
+            Attribute("R", "b"),
+            1,
+        )
+        # |S join T| = 150, divisor 2 -> 75 (paper Sec V.2)
+        assert cost == pytest.approx(75.0)
+
+    def test_broadcast_multiplies(self, q1, catalog):
+        cost = step_cost(
+            catalog, q1, (input_mir("R"),), input_mir("S"), Attribute("S", "c"), 5
+        )
+        assert cost == pytest.approx(500.0)  # broadcast to 5 tasks
+
+    def test_probe_order_cost_paper_total(self, q1, catalog):
+        """<S, R, T> with unit parallelism costs 100 + 50 = 150."""
+        singles = [input_mir(r) for r in q1.relations]
+        orders = construct_probe_orders(q1, singles)
+        s_orders = {
+            str(o): o for o in orders["S"]
+        }
+        decorated = DecoratedProbeOrder(
+            order=s_orders["<S, R, T>"], partitions=(None, None)
+        )
+        cost = probe_order_cost(
+            catalog, q1, decorated, ClusterConfig(default_parallelism=1)
+        )
+        assert cost == pytest.approx(150.0)
+
+    def test_delivery_cost(self, q1, catalog):
+        catalog.with_selectivity(JoinPredicate.of("S.c", "T.c"), 0.015)
+        st = next(
+            m for m in enumerate_mirs(q1) if m.relations == frozenset({"S", "T"})
+        )
+        orders = maintenance_probe_orders(st, enumerate_mirs(q1))
+        order = orders["S"][0]
+        cost = delivery_cost(catalog, q1, order.stores)
+        assert cost == pytest.approx(75.0)  # 150 results / 2 stores
+
+    def test_maintenance_steps_include_delivery(self, q1, catalog):
+        st = next(
+            m for m in enumerate_mirs(q1) if m.relations == frozenset({"S", "T"})
+        )
+        orders = maintenance_probe_orders(st, enumerate_mirs(q1))
+        decorated = DecoratedProbeOrder(order=orders["S"][0], partitions=(None,))
+        steps = probe_order_steps(
+            catalog, q1, decorated, ClusterConfig(default_parallelism=1)
+        )
+        assert [s.kind for s in steps] == ["probe", "deliver"]
+
+    def test_step_keys_shared_across_queries(self, q1, q2, catalog):
+        """The S->T step of q1 and q2 must produce identical keys (same
+        predicates, same decoration) so the ILP shares the y variable."""
+        singles_q1 = [input_mir(r) for r in q1.relations]
+        singles_q2 = [input_mir(r) for r in q2.relations]
+        o1 = next(
+            o
+            for o in construct_probe_orders(q1, singles_q1)["S"]
+            if str(o) == "<S, T, R>"
+        )
+        o2 = next(
+            o
+            for o in construct_probe_orders(q2, singles_q2)["S"]
+            if str(o) == "<S, T, U>"
+        )
+        cluster = ClusterConfig(default_parallelism=1)
+        attr = Attribute("T", "c")
+        s1 = probe_order_steps(
+            catalog, q1, DecoratedProbeOrder(o1, (attr, None)), cluster
+        )
+        s2 = probe_order_steps(
+            catalog, q2, DecoratedProbeOrder(o2, (attr, None)), cluster
+        )
+        assert s1[0].key == s2[0].key
+        assert s1[1].key != s2[1].key
+
+    def test_step_keys_differ_across_partitionings(self, q1, catalog):
+        singles = [input_mir(r) for r in q1.relations]
+        order = construct_probe_orders(q1, singles)["R"][0]
+        cluster = ClusterConfig(default_parallelism=2)
+        k_b = probe_order_steps(
+            catalog, q1, DecoratedProbeOrder(order, (Attribute("S", "b"), None)), cluster
+        )[0].key
+        k_c = probe_order_steps(
+            catalog, q1, DecoratedProbeOrder(order, (Attribute("S", "c"), None)), cluster
+        )[0].key
+        assert k_b != k_c
+
+    def test_step_keys_differ_across_predicates(self, catalog):
+        """Same relation route, different predicates -> different steps."""
+        qa = Query.of("qa", "R.a=S.a")
+        qb = Query.of("qb", "R.b=S.b")
+        cluster = ClusterConfig(default_parallelism=1)
+        oa = construct_probe_orders(qa, [input_mir("R"), input_mir("S")])["R"][0]
+        ob = construct_probe_orders(qb, [input_mir("R"), input_mir("S")])["R"][0]
+        ka = probe_order_steps(
+            catalog, qa, DecoratedProbeOrder(oa, (None,)), cluster
+        )[0].key
+        kb = probe_order_steps(
+            catalog, qb, DecoratedProbeOrder(ob, (None,)), cluster
+        )[0].key
+        assert ka != kb
+
+
+class TestClusterConfig:
+    def test_default_and_override(self):
+        cluster = ClusterConfig.with_overrides(default=4, S=8)
+        assert cluster.parallelism(input_mir("S")) == 8
+        assert cluster.parallelism(input_mir("R")) == 4

@@ -1,0 +1,243 @@
+"""Tests for ILP construction (Algorithm 2), solving, and plan extraction.
+
+Includes the paper's two worked examples:
+* Sec V.1 / Fig. 3 — structure of candidates and constraints,
+* Sec V.2 — the 475-vs-shared multi-query optimization outcome.
+"""
+
+import pytest
+
+from repro.core.catalog import StatisticsCatalog
+from repro.core.ilp_builder import (
+    OptimizerConfig,
+    build_mqo_ilp,
+    maintenance_group,
+    user_group,
+)
+from repro.core.optimizer import MultiQueryOptimizer
+from repro.core.partitioning import ClusterConfig
+from repro.core.plan import PlanExtractionError, estimate_memory, extract_plan
+from repro.core.predicates import JoinPredicate
+from repro.core.query import Query
+from repro.ilp.greedy import solve_greedy
+from repro.ilp.model import SolveStatus
+from repro.ilp.solvers import solve_model
+
+
+@pytest.fixture()
+def paper_queries():
+    """Sec V.2: q1 = R(a),S(a,b),T(b); q2 = S(b),T(b,c),U(c)."""
+    q1 = Query.of("q1", "R.a=S.a", "S.b=T.b")
+    q2 = Query.of("q2", "S.b=T.b", "T.c=U.c")
+    return q1, q2
+
+
+@pytest.fixture()
+def paper_catalog():
+    cat = StatisticsCatalog(default_selectivity=0.01)
+    for rel in "RSTU":
+        cat.with_rate(rel, 100.0)
+    cat.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.015)
+    return cat
+
+
+def _flat_config(**kwargs):
+    defaults = dict(
+        enable_mirs=False, cluster=ClusterConfig(default_parallelism=1)
+    )
+    defaults.update(kwargs)
+    return OptimizerConfig(**defaults)
+
+
+class TestIlpStructure:
+    def test_one_group_per_query_start(self, paper_queries, paper_catalog):
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        assert set(ilp.mandatory_groups) == {
+            user_group("q1", r) for r in "RST"
+        } | {user_group("q2", r) for r in "STU"}
+
+    def test_candidate_counts_without_mirs(self, paper_queries, paper_catalog):
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        # linear 3-way: end starts have 1 order, middle has 2 -> 4 per query
+        assert ilp.num_probe_orders == 8
+
+    def test_mirs_add_maintenance_groups(self, paper_queries, paper_catalog):
+        config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=1))
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, config)
+        st_mir = next(
+            m
+            for m in ilp.stores.values()
+            if m.relations == frozenset({"S", "T"})
+        )
+        assert maintenance_group(st_mir, "S") in ilp.groups
+        assert maintenance_group(st_mir, "T") in ilp.groups
+
+    def test_shared_step_variables(self, paper_queries, paper_catalog):
+        """q1's <S,T,R> and q2's <S,T,U> share the S->T step variable."""
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        q1_s = [ilp.candidates[n] for n in ilp.groups[user_group("q1", "S")]]
+        q2_s = [ilp.candidates[n] for n in ilp.groups[user_group("q2", "S")]]
+        q1_via_t = next(c for c in q1_s if "T" in str(c.decorated).split(",")[1])
+        q2_only = q2_s[0]
+        assert q1_via_t.step_keys[0] == q2_only.step_keys[0]
+
+    def test_paper_constraint_form_counts(self, paper_queries, paper_catalog):
+        ind = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        pap = build_mqo_ilp(
+            paper_queries, paper_catalog, _flat_config(constraint_form="paper")
+        )
+        # paper form: one cost row per candidate; indicator: one per used step
+        assert pap.num_constraints < ind.num_constraints
+        assert pap.num_variables == ind.num_variables
+
+    def test_strict_partitioning_adds_z_vars(self, paper_queries, paper_catalog):
+        strict = build_mqo_ilp(
+            paper_queries,
+            paper_catalog,
+            OptimizerConfig(cluster=ClusterConfig(default_parallelism=4)),
+        )
+        relaxed = build_mqo_ilp(
+            paper_queries,
+            paper_catalog,
+            OptimizerConfig(
+                cluster=ClusterConfig(default_parallelism=4),
+                strict_partitioning=False,
+            ),
+        )
+        assert strict.z_vars and not relaxed.z_vars
+        assert strict.num_variables > relaxed.num_variables
+
+    def test_unknown_constraint_form_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(constraint_form="bogus")
+
+    def test_grouped_problem_validates(self, paper_queries, paper_catalog):
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        ilp.grouped.validate()
+
+    def test_empty_workload_rejected(self, paper_catalog):
+        with pytest.raises(ValueError):
+            build_mqo_ilp([], paper_catalog, _flat_config())
+
+
+class TestPaperSecV2Outcome:
+    def test_individual_costs_475(self, paper_queries, paper_catalog):
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        ind = opt.optimize_individual(list(paper_queries))
+        assert ind.results["q1"].plan.objective == pytest.approx(475.0)
+        assert ind.results["q2"].plan.objective == pytest.approx(475.0)
+        assert ind.total_cost == pytest.approx(950.0)
+
+    def test_mqo_beats_individual(self, paper_queries, paper_catalog):
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        res = opt.optimize(list(paper_queries))
+        assert res.plan.objective == pytest.approx(800.0)
+
+    def test_mqo_selects_locally_suboptimal_order(
+        self, paper_queries, paper_catalog
+    ):
+        """q1's S-start must pick <S, T, R> (cost 175 alone, 75 marginal)."""
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        res = opt.optimize(list(paper_queries))
+        s_choice = res.plan.chosen[user_group("q1", "S")]
+        stores = [m.display_name for m in s_choice.decorated.order.sequence]
+        assert stores == ["T", "R"]
+
+    def test_solvers_agree(self, paper_queries, paper_catalog):
+        cfg = _flat_config()
+        own = MultiQueryOptimizer(paper_catalog, cfg, solver="own")
+        ref = MultiQueryOptimizer(paper_catalog, cfg, solver="scipy")
+        assert own.optimize(list(paper_queries)).plan.objective == pytest.approx(
+            ref.optimize(list(paper_queries)).plan.objective
+        )
+
+    def test_greedy_warm_start_is_feasible(self, paper_queries, paper_catalog):
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        greedy = solve_greedy(ilp.grouped)
+        assert greedy is not None
+        assignment = ilp.warm_start_assignment(greedy)
+        assert ilp.model.is_feasible(assignment)
+        assert ilp.model.objective_value(assignment) == pytest.approx(
+            greedy.objective
+        )
+
+
+class TestMirPlans:
+    def test_mir_plan_includes_maintenance(self, paper_queries, paper_catalog):
+        cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=4))
+        opt = MultiQueryOptimizer(paper_catalog, cfg, solver="own")
+        res = opt.optimize(list(paper_queries))
+        if res.plan.mir_stores:
+            maint = res.plan.maintenance_orders()
+            for mir in res.plan.mir_stores:
+                starts = {
+                    o.decorated.order.start_relation
+                    for o in maint
+                    if o.decorated.target == mir
+                }
+                assert starts == set(mir.relations)
+
+    def test_constraint_forms_same_optimum(self, paper_queries, paper_catalog):
+        base = dict(cluster=ClusterConfig(default_parallelism=4))
+        obj = {}
+        for form in ("indicator", "paper"):
+            cfg = OptimizerConfig(constraint_form=form, **base)
+            opt = MultiQueryOptimizer(paper_catalog, cfg, solver="scipy")
+            obj[form] = opt.optimize(list(paper_queries)).plan.objective
+        assert obj["indicator"] == pytest.approx(obj["paper"])
+
+    def test_relaxed_partitioning_never_costlier(self, paper_queries, paper_catalog):
+        base = dict(cluster=ClusterConfig(default_parallelism=4))
+        strict = MultiQueryOptimizer(
+            paper_catalog, OptimizerConfig(**base), solver="scipy"
+        ).optimize(list(paper_queries))
+        relaxed = MultiQueryOptimizer(
+            paper_catalog,
+            OptimizerConfig(strict_partitioning=False, **base),
+            solver="scipy",
+        ).optimize(list(paper_queries))
+        assert relaxed.plan.objective <= strict.plan.objective + 1e-9
+
+
+class TestPlanExtraction:
+    def test_extraction_requires_solved(self, paper_queries, paper_catalog):
+        from repro.ilp.model import Solution
+
+        ilp = build_mqo_ilp(paper_queries, paper_catalog, _flat_config())
+        with pytest.raises(PlanExtractionError):
+            extract_plan(ilp, Solution(status=SolveStatus.INFEASIBLE))
+
+    def test_all_user_groups_covered(self, paper_queries, paper_catalog):
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        plan = opt.optimize(list(paper_queries)).plan
+        for group in (
+            [user_group("q1", r) for r in "RST"]
+            + [user_group("q2", r) for r in "STU"]
+        ):
+            assert group in plan.chosen
+
+    def test_objective_matches_union_of_steps(self, paper_queries, paper_catalog):
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        res = opt.optimize(list(paper_queries))
+        keys = {k for info in res.plan.chosen.values() for k in info.step_keys}
+        total = sum(res.ilp.steps[k].cost for k in keys)
+        assert res.plan.objective == pytest.approx(total)
+
+    def test_memory_estimate_positive_and_monotone(
+        self, paper_queries, paper_catalog
+    ):
+        for rel in "RSTU":
+            paper_catalog.with_window(rel, 5.0)
+        cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=1))
+        opt = MultiQueryOptimizer(paper_catalog, cfg, solver="own")
+        plan = opt.optimize(list(paper_queries)).plan
+        mem = estimate_memory(plan, paper_catalog)
+        assert mem > 0
+        assert estimate_memory(plan, paper_catalog, tuple_bytes=128) == pytest.approx(
+            2 * mem
+        )
+
+    def test_describe_mentions_all_queries(self, paper_queries, paper_catalog):
+        opt = MultiQueryOptimizer(paper_catalog, _flat_config(), solver="own")
+        text = opt.optimize(list(paper_queries)).plan.describe()
+        assert "q:q1:R" in text and "q:q2:U" in text

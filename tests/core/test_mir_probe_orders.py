@@ -1,0 +1,231 @@
+"""Tests for MIR enumeration and probe-order construction (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mir import Mir, enumerate_mirs, input_mir, merge_mirs
+from repro.core.predicates import JoinPredicate
+from repro.core.probe_order import (
+    construct_probe_orders,
+    maintenance_probe_orders,
+    maintenance_query,
+)
+from repro.core.query import Query
+
+
+@pytest.fixture()
+def linear3():
+    # the paper's running example R(a), S(a,b), T(b)
+    return Query.of("q", "R.a=S.a", "S.b=T.b")
+
+
+@pytest.fixture()
+def linear4():
+    return Query.of("q4", "R.a=S.a", "S.b=T.b", "T.c=U.c")
+
+
+class TestMirEnumeration:
+    def test_linear3_mirs_match_paper(self, linear3):
+        """Sec V: for R(a),S(a,b),T(b) the MIRs are (R,S) and (S,T), not (R,T)."""
+        mirs = enumerate_mirs(linear3)
+        pairs = {tuple(sorted(m.relations)) for m in mirs if m.size == 2}
+        assert pairs == {("R", "S"), ("S", "T")}
+
+    def test_inputs_included(self, linear3):
+        mirs = enumerate_mirs(linear3)
+        singles = {tuple(m.relations)[0] for m in mirs if m.is_input}
+        assert singles == {"R", "S", "T"}
+
+    def test_full_query_excluded(self, linear4):
+        mirs = enumerate_mirs(linear4)
+        assert all(m.size < linear4.size for m in mirs)
+
+    def test_max_size_cap(self, linear4):
+        mirs = enumerate_mirs(linear4, max_size=2)
+        assert max(m.size for m in mirs) == 2
+
+    def test_linear_count_quadratic(self):
+        """A linear query's MIRs are its consecutive subsequences."""
+        q = Query.of("q", "A.x=B.x", "B.y=C.y", "C.z=D.z", "D.w=E.w")
+        mirs = [m for m in enumerate_mirs(q) if m.size >= 2]
+        # consecutive runs of length 2..4 in a 5-chain: 4 + 3 + 2 = 9
+        assert len(mirs) == 9
+
+    def test_star_query_mirs(self):
+        q = Query.of("q", "Hub.a=A.a", "Hub.b=B.b", "Hub.c=C.c")
+        mirs = [m for m in enumerate_mirs(q) if m.size >= 2]
+        # every size>=2 connected subset must contain the hub
+        assert all("Hub" in m.relations for m in mirs)
+        # {Hub+1 leaf} x3, {Hub+2 leaves} x3 (size-4 = full query excluded)
+        assert len(mirs) == 6
+
+    def test_mir_predicates_are_induced(self, linear3):
+        mirs = enumerate_mirs(linear3)
+        rs = next(m for m in mirs if m.relations == frozenset({"R", "S"}))
+        assert rs.predicates == frozenset({JoinPredicate.of("R.a", "S.a")})
+
+    def test_foreign_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Mir(
+                relations=frozenset({"R"}),
+                predicates=frozenset({JoinPredicate.of("R.a", "S.a")}),
+            )
+
+    def test_merge_deduplicates_structurally(self, linear3):
+        q2 = Query.of("q2", "R.a=S.a", "S.c=U.c")  # shares the RS sub-join
+        merged = merge_mirs([enumerate_mirs(linear3), enumerate_mirs(q2)])
+        rs_mirs = [m for m in merged if m.relations == frozenset({"R", "S"})]
+        assert len(rs_mirs) == 1
+
+    def test_merge_keeps_distinct_predicates_apart(self, linear3):
+        q2 = Query.of("q2", "R.z=S.z", "S.b=T.b")  # different RS predicate
+        merged = merge_mirs([enumerate_mirs(linear3), enumerate_mirs(q2)])
+        rs_mirs = [m for m in merged if m.relations == frozenset({"R", "S"})]
+        assert len(rs_mirs) == 2
+
+    def test_display_and_canonical_names(self):
+        mir = input_mir("R")
+        assert mir.display_name == "R"
+        assert mir.canonical_id == "R"
+
+
+class TestProbeOrderConstruction:
+    def test_fig3_candidates_for_q1(self):
+        """Fig. 3: q1 = R(b),S(b,c),T(c) has R:2, S:2, T:2 candidates."""
+        q1 = Query.of("q1", "R.b=S.b", "S.c=T.c")
+        mirs = enumerate_mirs(q1)
+        orders = construct_probe_orders(q1, mirs)
+        as_strs = {
+            rel: sorted(str(o) for o in orders[rel]) for rel in q1.relations
+        }
+        assert as_strs["R"] == ["<R, S+T>", "<R, S, T>"]
+        assert sorted(as_strs["S"]) == ["<S, R, T>", "<S, T, R>"]
+        assert as_strs["T"] == ["<T, R+S>", "<T, S, R>"]
+
+    def test_orders_cover_query(self, linear4):
+        mirs = enumerate_mirs(linear4)
+        orders = construct_probe_orders(linear4, mirs)
+        for rel in linear4.relations:
+            for order in orders[rel]:
+                assert order.covered_relations() == linear4.relation_set
+
+    def test_orders_avoid_cross_products(self, linear4):
+        """Every prefix of every probe order must be connected."""
+        mirs = enumerate_mirs(linear4)
+        orders = construct_probe_orders(linear4, mirs)
+        for rel in linear4.relations:
+            for order in orders[rel]:
+                covered = set(order.start.relations)
+                for store in order.sequence:
+                    assert linear4.predicates_between(covered, store.relations)
+                    covered |= store.relations
+
+    def test_stores_are_disjoint(self, linear4):
+        mirs = enumerate_mirs(linear4)
+        orders = construct_probe_orders(linear4, mirs)
+        for rel in linear4.relations:
+            for order in orders[rel]:
+                seen = set(order.start.relations)
+                for store in order.sequence:
+                    assert not (seen & store.relations)
+                    seen |= store.relations
+
+    def test_without_mirs_orders_are_permutations(self, linear3):
+        singles = [input_mir(r) for r in linear3.relations]
+        orders = construct_probe_orders(linear3, singles)
+        assert sorted(str(o) for o in orders["S"]) == ["<S, R, T>", "<S, T, R>"]
+        assert [str(o) for o in orders["R"]] == ["<R, S, T>"]
+
+    def test_inconsistent_mir_excluded(self, linear3):
+        """An MIR with alien predicates must not be probed."""
+        alien = Mir(
+            relations=frozenset({"R", "S"}),
+            predicates=frozenset({JoinPredicate.of("R.zzz", "S.zzz")}),
+        )
+        orders = construct_probe_orders(
+            linear3, [input_mir(r) for r in linear3.relations] + [alien]
+        )
+        for rel_orders in orders.values():
+            for order in rel_orders:
+                assert all(m.is_input for m in order.stores)
+
+
+class TestMaintenanceOrders:
+    def test_maintenance_query_is_connected_subquery(self, linear3):
+        mirs = enumerate_mirs(linear3)
+        rs = next(m for m in mirs if m.relations == frozenset({"R", "S"}))
+        sub = maintenance_query(rs)
+        assert sub.relation_set == frozenset({"R", "S"})
+        assert sub.predicates == rs.predicates
+
+    def test_pairwise_maintenance(self, linear3):
+        mirs = enumerate_mirs(linear3)
+        rs = next(m for m in mirs if m.relations == frozenset({"R", "S"}))
+        orders = maintenance_probe_orders(rs, mirs)
+        assert [str(o) for o in orders["R"]] == ["<R, S> -> R+S"]
+        assert [str(o) for o in orders["S"]] == ["<S, R> -> R+S"]
+
+    def test_large_mir_maintainable_via_smaller(self, linear4):
+        mirs = enumerate_mirs(linear4)
+        rst = next(
+            m for m in mirs if m.relations == frozenset({"R", "S", "T"})
+        )
+        orders = maintenance_probe_orders(rst, mirs)
+        r_orders = {str(o) for o in orders["R"]}
+        assert "<R, S, T> -> R+S+T" in r_orders
+        assert "<R, S+T> -> R+S+T" in r_orders
+
+    def test_maintenance_orders_target_set(self, linear3):
+        mirs = enumerate_mirs(linear3)
+        st = next(m for m in mirs if m.relations == frozenset({"S", "T"}))
+        orders = maintenance_probe_orders(st, mirs)
+        for rel_orders in orders.values():
+            for order in rel_orders:
+                assert order.is_maintenance
+                assert order.target == st
+
+
+@st.composite
+def random_connected_query(draw):
+    """A random connected query over 3-6 relations (tree-shaped graph)."""
+    n = draw(st.integers(3, 6))
+    rels = [f"S{i}" for i in range(n)]
+    preds = []
+    for i in range(1, n):
+        j = draw(st.integers(0, i - 1))
+        preds.append(f"{rels[j]}.a{i}={rels[i]}.a{i}")
+    extra = draw(st.integers(0, 2))
+    for k in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            preds.append(f"{rels[a]}.x{k}={rels[b]}.x{k}")
+    return Query.of("rand", *preds)
+
+
+class TestProbeOrderProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_connected_query())
+    def test_probe_orders_partition_relations(self, query):
+        mirs = enumerate_mirs(query, max_size=2)
+        orders = construct_probe_orders(query, mirs)
+        for rel in query.relations:
+            assert orders[rel], f"no probe order for start {rel}"
+            for order in orders[rel]:
+                rel_lists = [set(order.start.relations)] + [
+                    set(m.relations) for m in order.sequence
+                ]
+                union = set().union(*rel_lists)
+                assert union == set(query.relations)
+                assert sum(len(s) for s in rel_lists) == len(union)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_connected_query())
+    def test_singles_only_orders_are_permutations(self, query):
+        singles = [input_mir(r) for r in query.relations]
+        orders = construct_probe_orders(query, singles)
+        for rel in query.relations:
+            for order in orders[rel]:
+                names = [rel] + [m.display_name for m in order.sequence]
+                assert sorted(names) == sorted(query.relations)

@@ -1,0 +1,147 @@
+"""Tests for the query model and statistics catalog."""
+
+import pytest
+
+from repro.core.catalog import StatisticsCatalog
+from repro.core.predicates import JoinPredicate
+from repro.core.query import CrossProductError, Query, validate_workload
+from repro.core.schema import Attribute, StreamRelation
+
+
+@pytest.fixture()
+def linear_query():
+    return Query.of("q", "R.a=S.a", "S.b=T.b", "T.c=U.c")
+
+
+class TestQueryConstruction:
+    def test_of_builds_relations_from_predicates(self, linear_query):
+        assert linear_query.relations == ("R", "S", "T", "U")
+
+    def test_cross_product_rejected(self):
+        with pytest.raises(CrossProductError):
+            Query.of("bad", "R.a=S.a", "T.b=U.b")
+
+    def test_single_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Query(name="q", relations=("R",), predicates=frozenset())
+
+    def test_foreign_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                name="q",
+                relations=("R", "S"),
+                predicates=frozenset({JoinPredicate.of("R.a", "T.a")}),
+            )
+
+    def test_window_override_validation(self):
+        q = Query.of("q", "R.a=S.a", windows={"R": 5.0})
+        assert q.window_of("R") == 5.0
+        assert q.window_of("S", default=7.0) == 7.0
+        with pytest.raises(ValueError):
+            Query.of("q", "R.a=S.a", windows={"T": 5.0})
+
+    def test_duplicate_names_rejected_in_workload(self, linear_query):
+        with pytest.raises(ValueError):
+            validate_workload([linear_query, linear_query])
+
+
+class TestQueryStructure:
+    def test_predicates_within(self, linear_query):
+        inner = linear_query.predicates_within({"R", "S"})
+        assert inner == frozenset({JoinPredicate.of("R.a", "S.a")})
+
+    def test_predicates_between(self, linear_query):
+        between = linear_query.predicates_between({"R", "S"}, {"T"})
+        assert between == frozenset({JoinPredicate.of("S.b", "T.b")})
+
+    def test_neighbors(self, linear_query):
+        assert linear_query.neighbors({"S"}) == frozenset({"R", "T"})
+        assert linear_query.neighbors({"R", "S"}) == frozenset({"T"})
+        assert linear_query.neighbors({"R", "T"}) == frozenset({"S", "U"})
+
+    def test_join_attributes(self, linear_query):
+        attrs = linear_query.join_attributes("S")
+        assert attrs == [Attribute("S", "a"), Attribute("S", "b")]
+
+    def test_is_subquery_connected(self, linear_query):
+        assert linear_query.is_subquery_connected({"R", "S"})
+        assert linear_query.is_subquery_connected({"S", "T", "U"})
+        assert not linear_query.is_subquery_connected({"R", "T"})
+        assert not linear_query.is_subquery_connected([])
+
+
+class TestCatalog:
+    def test_rate_registration_and_lookup(self):
+        cat = StatisticsCatalog().with_rate("R", 100.0)
+        assert cat.rate("R") == 100.0
+        with pytest.raises(KeyError):
+            cat.rate("S")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StatisticsCatalog().with_rate("R", 0.0)
+
+    def test_relation_registration_carries_window(self):
+        rel = StreamRelation("R", ("a",), window=9.0)
+        cat = StatisticsCatalog().with_relation(rel, rate=10.0)
+        assert cat.window("R") == 9.0
+        assert cat.relation("R") is rel
+
+    def test_selectivity_default_and_override(self):
+        pred = JoinPredicate.of("R.a", "S.a")
+        cat = StatisticsCatalog(default_selectivity=0.02)
+        assert cat.selectivity(pred) == 0.02
+        cat.with_selectivity(pred, 0.5)
+        assert cat.selectivity(pred) == 0.5
+
+    def test_selectivity_orientation_invariant(self):
+        cat = StatisticsCatalog().with_selectivity(
+            JoinPredicate.of("S.a", "R.a"), 0.25
+        )
+        assert cat.selectivity(JoinPredicate.of("R.a", "S.a")) == 0.25
+
+    def test_selectivity_bounds(self):
+        pred = JoinPredicate.of("R.a", "S.a")
+        with pytest.raises(ValueError):
+            StatisticsCatalog().with_selectivity(pred, 0.0)
+        with pytest.raises(ValueError):
+            StatisticsCatalog().with_selectivity(pred, 1.5)
+
+    def test_join_cardinality_paper_example(self):
+        """Sec V.2: rates 100, |S join T| = 150 via selectivity 0.015."""
+        cat = StatisticsCatalog().with_rate("S", 100).with_rate("T", 100)
+        pred = JoinPredicate.of("S.b", "T.b")
+        cat.with_selectivity(pred, 0.015)
+        assert cat.join_cardinality({"S", "T"}, {pred}) == pytest.approx(150.0)
+
+    def test_join_cardinality_ignores_external_predicates(self):
+        cat = StatisticsCatalog().with_rate("S", 10).with_rate("T", 10)
+        external = JoinPredicate.of("T.c", "U.c")
+        inner = JoinPredicate.of("S.b", "T.b")
+        cat.with_selectivity(inner, 0.1)
+        card = cat.join_cardinality({"S", "T"}, {inner, external})
+        assert card == pytest.approx(10.0)
+
+    def test_join_cardinality_empty_set(self):
+        assert StatisticsCatalog().join_cardinality(set(), set()) == 0.0
+
+    def test_stored_tuples(self):
+        cat = StatisticsCatalog().with_rate("R", 100.0).with_window("R", 5.0)
+        assert cat.stored_tuples("R") == 500.0
+
+    def test_stored_tuples_unbounded_window_raises(self):
+        cat = StatisticsCatalog().with_rate("R", 100.0)
+        with pytest.raises(ValueError):
+            cat.stored_tuples("R")
+
+    def test_stored_tuples_query_override(self):
+        cat = StatisticsCatalog().with_rate("R", 100.0).with_window("R", 5.0)
+        q = Query.of("q", "R.a=S.a", windows={"R": 2.0})
+        assert cat.stored_tuples("R", query=q) == 200.0
+
+    def test_copy_is_independent(self):
+        cat = StatisticsCatalog().with_rate("R", 1.0)
+        clone = cat.copy()
+        clone.with_rate("R", 2.0)
+        assert cat.rate("R") == 1.0
+        assert clone.rate("R") == 2.0

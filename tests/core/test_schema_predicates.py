@@ -1,0 +1,121 @@
+"""Tests for schema objects and equi-join predicates."""
+
+import pytest
+
+from repro.core.predicates import (
+    JoinPredicate,
+    attribute_closure,
+    connected_components,
+)
+from repro.core.schema import Attribute, StreamRelation, relation_map
+
+
+class TestAttribute:
+    def test_parse_qualified(self):
+        attr = Attribute.parse("Orders.custkey")
+        assert attr.relation == "Orders"
+        assert attr.name == "custkey"
+
+    def test_parse_rejects_unqualified(self):
+        with pytest.raises(ValueError):
+            Attribute.parse("custkey")
+
+    def test_ordering_is_lexicographic(self):
+        assert Attribute("R", "a") < Attribute("S", "a")
+        assert Attribute("R", "a") < Attribute("R", "b")
+
+    def test_str_roundtrip(self):
+        attr = Attribute("R", "a")
+        assert Attribute.parse(str(attr)) == attr
+
+
+class TestStreamRelation:
+    def test_attr_accessor_validates(self):
+        rel = StreamRelation("R", ("a", "b"))
+        assert rel.attr("a") == Attribute("R", "a")
+        with pytest.raises(KeyError):
+            rel.attr("z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRelation("R", ("a", "a"))
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRelation("R", ("a",), window=0)
+
+    def test_relation_map_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            relation_map([StreamRelation("R", ("a",)), StreamRelation("R", ("b",))])
+
+
+class TestJoinPredicate:
+    def test_canonical_orientation(self):
+        p1 = JoinPredicate.of("S.a", "R.b")
+        p2 = JoinPredicate.of("R.b", "S.a")
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1.left == Attribute("R", "b")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate.of("R.a", "R.b")
+
+    def test_relations_property(self):
+        assert JoinPredicate.of("R.a", "S.b").relations == frozenset({"R", "S"})
+
+    def test_attribute_of_and_other(self):
+        pred = JoinPredicate.of("R.a", "S.b")
+        assert pred.attribute_of("R") == Attribute("R", "a")
+        assert pred.other("R") == Attribute("S", "b")
+        with pytest.raises(KeyError):
+            pred.attribute_of("T")
+
+    def test_connects(self):
+        pred = JoinPredicate.of("R.a", "S.b")
+        assert pred.connects({"R"}, {"S", "T"})
+        assert pred.connects({"S"}, {"R"})
+        assert not pred.connects({"R"}, {"T"})
+        assert not pred.connects({"R", "S"}, {"T"})
+
+
+class TestAttributeClosure:
+    def test_direct_equality(self):
+        preds = [JoinPredicate.of("R.a", "S.b")]
+        closure = attribute_closure([Attribute("R", "a")], preds)
+        assert Attribute("S", "b") in closure
+
+    def test_transitive_chain(self):
+        preds = [
+            JoinPredicate.of("R.a", "S.b"),
+            JoinPredicate.of("S.b", "T.c"),
+            JoinPredicate.of("T.c", "U.d"),
+        ]
+        closure = attribute_closure([Attribute("R", "a")], preds)
+        assert Attribute("U", "d") in closure
+
+    def test_disconnected_attribute_not_included(self):
+        preds = [
+            JoinPredicate.of("R.a", "S.b"),
+            JoinPredicate.of("T.c", "U.d"),
+        ]
+        closure = attribute_closure([Attribute("R", "a")], preds)
+        assert Attribute("T", "c") not in closure
+        assert Attribute("U", "d") not in closure
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        preds = [JoinPredicate.of("R.a", "S.a"), JoinPredicate.of("S.b", "T.b")]
+        comps = connected_components(["R", "S", "T"], preds)
+        assert comps == [frozenset({"R", "S", "T"})]
+
+    def test_two_components(self):
+        preds = [JoinPredicate.of("R.a", "S.a")]
+        comps = connected_components(["R", "S", "T"], preds)
+        assert frozenset({"T"}) in comps
+        assert frozenset({"R", "S"}) in comps
+
+    def test_isolated_nodes(self):
+        comps = connected_components(["R", "S"], [])
+        assert len(comps) == 2

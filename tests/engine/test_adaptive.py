@@ -1,0 +1,227 @@
+"""Tests for epoch-based adaptive execution (Section VI)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ClusterConfig,
+    JoinPredicate,
+    OptimizerConfig,
+    Query,
+    StatisticsCatalog,
+)
+from repro.core.adaptive import AdaptiveController, plan_signature, store_refcounts
+from repro.engine import (
+    AdaptiveRuntime,
+    EpochStatistics,
+    RuntimeConfig,
+    input_tuple,
+    reference_join,
+    result_keys,
+)
+
+ATTRS = {"R": ["a"], "S": ["a", "b"], "T": ["b", "c"], "U": ["c"]}
+
+
+def shifted_workload(seed=7, n=800, shift_at=8.0, shrunk_domain=3):
+    """Random RSTU streams whose S.b/T.b domain collapses after ``shift_at``."""
+    rng = random.Random(seed)
+    streams = {r: [] for r in "RSTU"}
+    inputs = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.random() * 0.05
+        rel = rng.choice("RSTU")
+        dom = shrunk_domain if t > shift_at else 40
+        vals = {
+            a: (rng.randint(0, dom) if a == "b" else rng.randint(0, 15))
+            for a in ATTRS[rel]
+        }
+        tup = input_tuple(rel, t, vals)
+        streams[rel].append(tup)
+        inputs.append(tup)
+    return streams, inputs
+
+
+def make_controller(parallelism=2, solver="own"):
+    q = Query.of("q", "R.a=S.a", "S.b=T.b", "T.c=U.c")
+    cat = StatisticsCatalog(default_selectivity=0.02, default_window=5.0)
+    for r in "RSTU":
+        cat.with_rate(r, 20.0)
+    cat.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.2)
+    cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=parallelism))
+    return AdaptiveController(cat, [q], cfg, solver=solver), q
+
+
+class TestEpochStatistics:
+    def test_rate_estimation(self):
+        stats = EpochStatistics(epoch=0)
+        for i in range(10):
+            stats.observe(input_tuple("R", i * 0.1, {"a": i}))
+        assert stats.rate("R", epoch_length=2.0) == pytest.approx(5.0)
+        assert stats.rate("S", epoch_length=2.0) is None
+
+    def test_selectivity_from_histograms(self):
+        stats = EpochStatistics(epoch=0)
+        for i in range(10):
+            stats.observe(input_tuple("R", i, {"a": i % 2}))
+            stats.observe(input_tuple("S", i + 0.5, {"a": i % 2}))
+        sel = stats.selectivity(JoinPredicate.of("R.a", "S.a"))
+        # uniform over 2 values -> about 1/2 of pairs match
+        assert sel == pytest.approx(0.5, rel=0.01)
+
+    def test_selectivity_none_without_data(self):
+        stats = EpochStatistics(epoch=0)
+        assert stats.selectivity(JoinPredicate.of("R.a", "S.a")) is None
+
+    def test_fold_into_keeps_base_for_unobserved(self):
+        base = StatisticsCatalog(default_selectivity=0.3)
+        base.with_rate("R", 7.0).with_rate("S", 9.0)
+        stats = EpochStatistics(epoch=0)
+        stats.observe(input_tuple("R", 0.5, {"a": 1}))
+        q = Query.of("q", "R.a=S.a")
+        folded = stats.fold_into(base, [q], epoch_length=1.0)
+        assert folded.rate("R") == pytest.approx(1.0)
+        assert folded.rate("S") == pytest.approx(9.0)  # unobserved: base value
+
+
+class TestController:
+    def test_initial_topology_and_signature(self):
+        ctrl, _ = make_controller()
+        topo = ctrl.initial_topology()
+        assert topo.stores
+        assert ctrl.current_plan is not None
+        assert plan_signature(ctrl.current_plan) == ctrl.current_signature
+
+    def test_decide_no_change_returns_none(self):
+        ctrl, _ = make_controller()
+        ctrl.initial_topology()
+        out = ctrl.decide(0, ctrl.base_catalog)
+        assert out is None
+        assert ctrl.decisions[-1].changed is False
+
+    def test_decide_on_shifted_stats_changes_plan(self):
+        ctrl, _ = make_controller()
+        ctrl.initial_topology()
+        shifted = ctrl.base_catalog.copy()
+        shifted.with_selectivity(JoinPredicate.of("S.b", "T.b"), 1e-4)
+        shifted.with_selectivity(JoinPredicate.of("R.a", "S.a"), 0.5)
+        out = ctrl.decide(0, shifted)
+        assert out is not None
+
+    def test_add_and_remove_query(self):
+        ctrl, q = make_controller()
+        ctrl.initial_topology()
+        q2 = Query.of("q2", "S.b=T.b")
+        ctrl.add_query(q2)
+        assert ctrl.decide(1, ctrl.base_catalog) is not None
+        ctrl.remove_query("q2")
+        assert ctrl.decide(2, ctrl.base_catalog) is not None
+        with pytest.raises(KeyError):
+            ctrl.remove_query("q2")
+        with pytest.raises(ValueError):
+            ctrl.add_query(q)
+
+    def test_refcounts_drop_with_queries(self):
+        ctrl, q = make_controller()
+        q2 = Query.of("q2", "S.b=T.b")
+        ctrl.add_query(q2)
+        ctrl.initial_topology()
+        counts = ctrl.refcounts()
+        assert counts["S"] == 2 and counts["T"] == 2  # shared by both
+        assert counts["R"] == 1 and counts["U"] == 1
+        ctrl.remove_query("q2")
+        ctrl.decide(0, ctrl.base_catalog)
+        counts = ctrl.refcounts()
+        assert counts["S"] == 1 and counts["T"] == 1
+
+    def test_store_refcounts_standalone(self):
+        ctrl, _ = make_controller()
+        ctrl.initial_topology()
+        counts = store_refcounts(ctrl.current_plan)
+        assert all(c >= 1 for sid, c in counts.items() if len(sid) == 1)
+
+
+class TestAdaptiveRuntime:
+    def test_exact_across_reconfigurations(self):
+        ctrl, q = make_controller()
+        streams, inputs = shifted_workload()
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl, windows, RuntimeConfig(mode="logical"), epoch_length=2.0
+        )
+        rt.run(inputs)
+        assert rt.switches, "the shift must trigger at least one switch"
+        assert result_keys(rt.results("q")) == result_keys(
+            reference_join(q, streams, windows)
+        )
+
+    def test_static_baseline_is_also_exact(self):
+        ctrl, q = make_controller()
+        streams, inputs = shifted_workload()
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl,
+            windows,
+            RuntimeConfig(mode="logical"),
+            epoch_length=2.0,
+            adapt=False,
+        )
+        rt.run(inputs)
+        assert not rt.switches
+        assert result_keys(rt.results("q")) == result_keys(
+            reference_join(q, streams, windows)
+        )
+
+    def test_decision_delay_is_two_epochs(self):
+        """Stats from epoch i must not take effect before epoch i+2."""
+        ctrl, q = make_controller()
+        _, inputs = shifted_workload()
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl, windows, RuntimeConfig(mode="logical"), epoch_length=2.0
+        )
+        rt.run(inputs)
+        for record in rt.switches:
+            decision = next(
+                d for d in ctrl.decisions if d.changed and d.epoch == record.epoch - 2
+            )
+            assert decision.epoch == record.epoch - 2
+
+    def test_migration_counted_when_partitioning_changes(self):
+        ctrl, q = make_controller(parallelism=2)
+        streams, inputs = shifted_workload()
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl, windows, RuntimeConfig(mode="logical"), epoch_length=2.0
+        )
+        rt.run(inputs)
+        if rt.switches:
+            assert rt.metrics.migrated_tuples >= 0
+
+    def test_removed_store_state_released(self):
+        ctrl, q = make_controller()
+        streams, inputs = shifted_workload()
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl, windows, RuntimeConfig(mode="logical"), epoch_length=2.0
+        )
+        rt.run(inputs)
+        removed = {s for rec in rt.switches for s in rec.removed_stores}
+        active = set(rt.topology.stores)
+        for store_id in removed - active:
+            assert all(
+                task.stored_tuples() == 0 for task in rt.tasks[store_id]
+            )
+
+    def test_timed_adaptive_runs_to_completion(self):
+        ctrl, q = make_controller()
+        _, inputs = shifted_workload(n=400)
+        windows = {r: 5.0 for r in "RSTU"}
+        rt = AdaptiveRuntime(
+            ctrl, windows, RuntimeConfig(mode="timed"), epoch_length=2.0
+        )
+        rt.run(inputs)
+        assert rt.metrics.results_emitted > 0
+        assert not rt.metrics.failed

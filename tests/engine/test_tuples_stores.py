@@ -1,0 +1,182 @@
+"""Tests for stream tuples, containers, and store tasks."""
+
+import pytest
+
+from repro.core.predicates import JoinPredicate
+from repro.engine.stores import Container, StoreTask, probe_container
+from repro.engine.tuples import StreamTuple, input_tuple
+
+
+class TestStreamTuple:
+    def test_input_tuple_qualifies_attributes(self):
+        tup = input_tuple("R", 1.0, {"a": 7})
+        assert tup.get("R.a") == 7
+        assert tup.lineage == frozenset({"R"})
+        assert tup.trigger == "R" and tup.trigger_ts == 1.0
+
+    def test_merge_combines_values_and_timestamps(self):
+        r = input_tuple("R", 2.0, {"a": 1})
+        s = input_tuple("S", 1.0, {"a": 1, "b": 5})
+        merged = r.merge(s)
+        assert merged.get("R.a") == 1 and merged.get("S.b") == 5
+        assert merged.timestamps == {"R": 2.0, "S": 1.0}
+        assert merged.trigger == "R"  # keeps the probing side's trigger
+
+    def test_merge_rejects_overlapping_lineage(self):
+        r1 = input_tuple("R", 1.0, {"a": 1})
+        r2 = input_tuple("R", 2.0, {"a": 2})
+        with pytest.raises(ValueError):
+            r1.merge(r2)
+
+    def test_latest_earliest(self):
+        merged = input_tuple("R", 2.0, {"a": 1}).merge(
+            input_tuple("S", 1.0, {"b": 2})
+        )
+        assert merged.latest_ts == 2.0
+        assert merged.earliest_ts == 1.0
+        assert merged.width == 2
+
+    def test_arrived_before_requires_all_components(self):
+        merged = input_tuple("R", 2.0, {"a": 1}).merge(
+            input_tuple("S", 5.0, {"b": 2})
+        )
+        assert not merged.arrived_before(3.0)
+        assert merged.arrived_before(6.0)
+
+    def test_within_windows_pairwise_min(self):
+        r = input_tuple("R", 0.0, {"a": 1})
+        s = input_tuple("S", 4.0, {"a": 1})
+        assert r.within_windows(s, {"R": 5.0, "S": 5.0})
+        assert not r.within_windows(s, {"R": 3.0, "S": 5.0})  # min applies
+        assert r.within_windows(s, {})  # missing windows = unbounded
+
+    def test_key_is_stable_identity(self):
+        a = input_tuple("R", 1.0, {"a": 1})
+        b = input_tuple("R", 1.0, {"a": 1})
+        assert a.key() == b.key()
+        assert a.key() != input_tuple("R", 1.0, {"a": 2}).key()
+
+
+class TestContainer:
+    def test_insert_and_index(self):
+        cont = Container()
+        t1 = input_tuple("R", 1.0, {"a": 5})
+        cont.insert(t1)
+        index = cont.index_on("R.a")
+        assert index[5] == [t1]
+
+    def test_index_built_lazily_then_maintained(self):
+        cont = Container()
+        cont.insert(input_tuple("R", 1.0, {"a": 5}))
+        index = cont.index_on("R.a")
+        cont.insert(input_tuple("R", 2.0, {"a": 5}))
+        assert len(index[5]) == 2  # maintained incrementally after creation
+
+    def test_evict_older_than(self):
+        cont = Container()
+        cont.insert(input_tuple("R", 1.0, {"a": 1}))
+        cont.insert(input_tuple("R", 9.0, {"a": 2}))
+        freed = cont.evict_older_than(5.0)
+        assert freed == 1
+        assert len(cont) == 1
+        assert cont.index_on("R.a").get(1) is None
+
+    def test_evict_nothing_is_cheap(self):
+        cont = Container()
+        cont.insert(input_tuple("R", 9.0, {"a": 2}))
+        index_before = cont.index_on("R.a")
+        assert cont.evict_older_than(1.0) == 0
+        assert cont.indexes["R.a"] is index_before  # untouched
+
+
+class TestStoreTask:
+    def test_per_epoch_containers(self):
+        task = StoreTask(store_id="R", task_index=0, retention=10.0)
+        task.insert(0, input_tuple("R", 1.0, {"a": 1}))
+        task.insert(1, input_tuple("R", 2.0, {"a": 2}))
+        assert len(task.container(0)) == 1
+        assert len(task.container(1)) == 1
+        assert task.stored_tuples() == 2
+
+    def test_window_eviction(self):
+        task = StoreTask(store_id="R", task_index=0, retention=5.0)
+        task.insert(0, input_tuple("R", 0.0, {"a": 1}))
+        task.insert(0, input_tuple("R", 8.0, {"a": 2}))
+        freed = task.evict(now=10.0)
+        assert freed == 1
+        assert task.stored_tuples() == 1
+
+    def test_infinite_retention_never_evicts(self):
+        task = StoreTask(store_id="R", task_index=0, retention=float("inf"))
+        task.insert(0, input_tuple("R", 0.0, {"a": 1}))
+        assert task.evict(now=1e9) == 0
+
+    def test_drop_epochs_before(self):
+        task = StoreTask(store_id="R", task_index=0, retention=10.0)
+        task.insert(0, input_tuple("R", 1.0, {"a": 1}))
+        task.insert(2, input_tuple("R", 5.0, {"a": 2}))
+        freed = task.drop_epochs_before(2)
+        assert freed == 1
+        assert set(task.containers) == {2}
+
+
+class TestProbeContainer:
+    def _fill(self):
+        cont = Container()
+        cont.insert(input_tuple("S", 1.0, {"a": 1, "b": 10}))
+        cont.insert(input_tuple("S", 2.0, {"a": 1, "b": 20}))
+        cont.insert(input_tuple("S", 3.0, {"a": 2, "b": 10}))
+        return cont
+
+    def test_equi_match_via_index(self):
+        cont = self._fill()
+        probe = input_tuple("R", 5.0, {"a": 1})
+        preds = (JoinPredicate.of("R.a", "S.a"),)
+        results = probe_container(cont, probe, preds, {})
+        assert len(results) == 2
+        assert all(r.get("S.a") == 1 for r in results)
+
+    def test_multi_predicate_filter(self):
+        cont = self._fill()
+        probe = input_tuple("R", 5.0, {"a": 1, "b": 20})
+        preds = (
+            JoinPredicate.of("R.a", "S.a"),
+            JoinPredicate.of("R.b", "S.b"),
+        )
+        results = probe_container(cont, probe, preds, {})
+        assert len(results) == 1
+        assert results[0].get("S.b") == 20
+
+    def test_only_earlier_tuples_match(self):
+        cont = self._fill()
+        probe = input_tuple("R", 1.5, {"a": 1})
+        preds = (JoinPredicate.of("R.a", "S.a"),)
+        results = probe_container(cont, probe, preds, {})
+        assert len(results) == 1  # only the S tuple at t=1.0
+
+    def test_window_filter(self):
+        cont = self._fill()
+        probe = input_tuple("R", 10.0, {"a": 1})
+        preds = (JoinPredicate.of("R.a", "S.a"),)
+        results = probe_container(cont, probe, preds, {"R": 5.0, "S": 5.0})
+        # S@1.0 is 9.0 away (out of window); S@2.0 is 8.0 away (out too)
+        assert results == []
+
+    def test_comparison_counting(self):
+        cont = self._fill()
+        probe = input_tuple("R", 5.0, {"a": 1})
+        counted = []
+        probe_container(
+            cont,
+            probe,
+            (JoinPredicate.of("R.a", "S.a"),),
+            {},
+            count_comparisons=counted.append,
+        )
+        assert counted == [2]  # index narrowed to the two a=1 tuples
+
+    def test_empty_predicates_scan_all(self):
+        cont = self._fill()
+        probe = input_tuple("R", 5.0, {"a": 1})
+        results = probe_container(cont, probe, (), {})
+        assert len(results) == 3

@@ -1,0 +1,164 @@
+"""Branch-and-bound tests, cross-checked against scipy's HiGHS MILP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.bnb import BranchAndBoundSolver
+from repro.ilp.model import LinExpr, Model, SolveStatus, VarType
+from repro.ilp.scipy_backend import ScipyMilpSolver
+from repro.ilp.solvers import SolverMethod, solve_model
+
+
+def _knapsack_model(values, weights, capacity):
+    """min -value selection under a weight cap (knapsack as minimization)."""
+    m = Model("knapsack")
+    xs = [m.add_var(f"x{i}") for i in range(len(values))]
+    m.add_le(LinExpr.sum(w * x for w, x in zip(weights, xs)), capacity)
+    m.set_objective(LinExpr.sum(-v * x for v, x in zip(values, xs)))
+    return m, xs
+
+
+class TestSmallILPs:
+    def test_knapsack_optimum(self):
+        m, xs = _knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        # best: items 0+2 (weight 5, value 17) over item 1 (value 13)
+        assert sol.objective == pytest.approx(-17)
+        assert sol.value(xs[0]) == 1 and sol.value(xs[2]) == 1
+
+    def test_set_cover(self):
+        m = Model("cover")
+        a, b, c = (m.add_var(n) for n in "abc")
+        # elements 1..3; sets a={1,2}, b={2,3}, c={1,3}; unit costs
+        m.add_ge(a + c, 1)
+        m.add_ge(a + b, 1)
+        m.add_ge(b + c, 1)
+        m.set_objective(a + b + c)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(2)
+
+    def test_assignment_problem(self):
+        cost = [[4, 2, 8], [4, 3, 7], [3, 1, 6]]
+        m = Model("assign")
+        x = [[m.add_var(f"x{i}{j}") for j in range(3)] for i in range(3)]
+        for i in range(3):
+            m.add_eq(LinExpr.sum(x[i]), 1)
+        for j in range(3):
+            m.add_eq(LinExpr.sum(x[i][j] for i in range(3)), 1)
+        m.set_objective(
+            LinExpr.sum(cost[i][j] * x[i][j] for i in range(3) for j in range(3))
+        )
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(12)  # (0,1)+(1,2)? -> 2+7+3 = 12
+
+    def test_infeasible_model(self):
+        m = Model("infeasible")
+        x = m.add_var("x")
+        m.add_ge(x, 1)
+        m.add_le(x, 0)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_integer_variable_with_wider_bounds(self):
+        m = Model("intvar")
+        x = m.add_var("x", vtype=VarType.INTEGER, ub=10)
+        y = m.add_var("y", vtype=VarType.INTEGER, ub=10)
+        m.add_le(2 * x + 3 * y, 12)
+        m.set_objective(-3 * x - 4 * y)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        ref = ScipyMilpSolver().solve(m)
+        assert sol.objective == pytest.approx(ref.objective)
+
+    def test_mixed_integer_continuous(self):
+        m = Model("mixed")
+        x = m.add_var("x")  # binary
+        y = m.add_var("y", vtype=VarType.CONTINUOUS, ub=2.5)
+        m.add_ge(x + y, 2)
+        m.set_objective(5 * x + y)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        # cheapest: y at 2.0 with x=0 (cost 2.0) vs x=1,y=1 (cost 6)
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_warm_start_prunes_and_is_respected(self):
+        m, xs = _knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        warm = {xs[0]: 1.0, xs[1]: 0.0, xs[2]: 1.0}
+        sol = BranchAndBoundSolver().solve(m, warm_start=warm)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-17)
+
+    def test_infeasible_warm_start_ignored(self):
+        m, xs = _knapsack_model([10, 13, 7], [3, 4, 2], 5)
+        warm = {xs[0]: 1.0, xs[1]: 1.0, xs[2]: 1.0}  # violates capacity
+        sol = BranchAndBoundSolver().solve(m, warm_start=warm)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-17)
+
+    def test_node_limit_returns_incumbent_or_error(self):
+        m, xs = _knapsack_model(list(range(1, 9)), [2] * 8, 7)
+        sol = BranchAndBoundSolver(node_limit=1).solve(m)
+        assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.ERROR, SolveStatus.OPTIMAL)
+
+
+class TestFacade:
+    def test_auto_uses_own_for_small(self):
+        m, _ = _knapsack_model([1, 2, 3], [1, 1, 1], 2)
+        sol = solve_model(m, method="auto")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-5)
+
+    def test_explicit_scipy(self):
+        m, _ = _knapsack_model([1, 2, 3], [1, 1, 1], 2)
+        sol = solve_model(m, method=SolverMethod.SCIPY)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-5)
+
+
+@st.composite
+def random_binary_ilp(draw):
+    """Random bounded 0/1 ILP where x = 0 is feasible (b >= 0)."""
+    n = draw(st.integers(2, 7))
+    m_rows = draw(st.integers(1, 5))
+    c = draw(st.lists(st.integers(-8, 8), min_size=n, max_size=n))
+    rows = [
+        draw(st.lists(st.integers(-4, 4), min_size=n, max_size=n))
+        for _ in range(m_rows)
+    ]
+    b = draw(st.lists(st.integers(0, 10), min_size=m_rows, max_size=m_rows))
+    return c, rows, b
+
+
+class TestAgainstScipyMilp:
+    @settings(max_examples=40, deadline=None)
+    @given(random_binary_ilp())
+    def test_optimum_matches_scipy(self, ilp):
+        c, rows, b = ilp
+        m = Model("rand")
+        xs = [m.add_var(f"x{i}") for i in range(len(c))]
+        for row, rhs in zip(rows, b):
+            m.add_le(LinExpr.sum(a * x for a, x in zip(row, xs)), rhs)
+        m.set_objective(LinExpr.sum(ci * x for ci, x in zip(c, xs)))
+
+        ours = BranchAndBoundSolver().solve(m)
+        ref = ScipyMilpSolver().solve(m)
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ref.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_binary_ilp())
+    def test_solution_satisfies_model(self, ilp):
+        c, rows, b = ilp
+        m = Model("rand")
+        xs = [m.add_var(f"x{i}") for i in range(len(c))]
+        for row, rhs in zip(rows, b):
+            m.add_le(LinExpr.sum(a * x for a, x in zip(row, xs)), rhs)
+        m.set_objective(LinExpr.sum(ci * x for ci, x in zip(c, xs)))
+        sol = BranchAndBoundSolver().solve(m)
+        assert m.is_feasible(sol.values)

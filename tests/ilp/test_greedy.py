@@ -1,0 +1,149 @@
+"""Tests for the grouped-selection greedy heuristic."""
+
+import pytest
+
+from repro.ilp.greedy import (
+    GroupedCandidate,
+    GroupedProblem,
+    selection_objective,
+    solve_greedy,
+)
+
+
+def _problem(step_costs, candidates, mandatory):
+    groups = {}
+    cand_map = {}
+    for cand in candidates:
+        cand_map[cand.name] = cand
+        groups.setdefault(cand.group, []).append(cand.name)
+    for group in mandatory:
+        groups.setdefault(group, [])
+    problem = GroupedProblem(
+        step_costs=dict(step_costs),
+        candidates=cand_map,
+        groups=groups,
+        mandatory=tuple(mandatory),
+    )
+    problem.validate()
+    return problem
+
+
+class TestValidation:
+    def test_dangling_step_rejected(self):
+        with pytest.raises(ValueError):
+            _problem({}, [GroupedCandidate("c", "g", ("missing",))], ["g"])
+
+    def test_dangling_activation_rejected(self):
+        cand = GroupedCandidate("c", "g", (), activates=("nowhere",))
+        with pytest.raises(ValueError):
+            _problem({}, [cand], ["g"])
+
+
+class TestGreedySelection:
+    def test_single_group_picks_cheapest(self):
+        problem = _problem(
+            {"s1": 10.0, "s2": 3.0},
+            [
+                GroupedCandidate("a", "g", ("s1",)),
+                GroupedCandidate("b", "g", ("s2",)),
+            ],
+            ["g"],
+        )
+        sol = solve_greedy(problem)
+        assert sol is not None
+        assert sol.chosen == {"b"}
+        assert sol.objective == 3.0
+
+    def test_shared_steps_priced_once(self):
+        """The paper's Sec. V.2 effect: sharing a prefix flips the choice.
+
+        Group g2 is forced onto step "ST"; g1 can use {"SR", "SRT"} (cost
+        100 + 50 = 150) or {"ST", "STR"} (marginal 75 once "ST" is shared).
+        """
+        problem = _problem(
+            {"SR": 100.0, "SRT": 50.0, "ST": 100.0, "STR": 75.0, "STU": 75.0},
+            [
+                GroupedCandidate("q1_via_R", "g1", ("SR", "SRT")),
+                GroupedCandidate("q1_via_T", "g1", ("ST", "STR")),
+                GroupedCandidate("q2_only", "g2", ("ST", "STU")),
+            ],
+            ["g1", "g2"],
+        )
+        sol = solve_greedy(problem)
+        assert sol is not None
+        assert "q2_only" in sol.chosen
+        assert "q1_via_T" in sol.chosen  # locally suboptimal, globally cheaper
+        assert sol.objective == pytest.approx(100 + 75 + 75)
+
+    def test_partition_commitments_respected(self):
+        problem = _problem(
+            {"s1": 1.0, "s2": 2.0, "s3": 1.0},
+            [
+                GroupedCandidate("a", "g1", ("s1",), commitments=(("S", "x"),)),
+                GroupedCandidate("b", "g2", ("s2",), commitments=(("S", "x"),)),
+                GroupedCandidate("c", "g2", ("s3",), commitments=(("S", "y"),)),
+            ],
+            ["g1", "g2"],
+        )
+        sol = solve_greedy(problem)
+        assert sol is not None
+        # "c" is cheaper but commits S to y, conflicting with mandatory "a".
+        assert sol.chosen == {"a", "b"}
+        assert sol.partitioning == {"S": "x"}
+
+    def test_activation_pulls_in_maintenance_groups(self):
+        problem = _problem(
+            {"use_mir": 1.0, "maint1": 2.0, "maint2": 3.0, "direct": 5.0},
+            [
+                GroupedCandidate("via_mir", "g", ("use_mir",), activates=("m",)),
+                GroupedCandidate("direct", "g", ("direct",)),
+                GroupedCandidate("maintain_a", "m", ("maint1",)),
+                GroupedCandidate("maintain_b", "m", ("maint2",)),
+            ],
+            ["g"],
+        )
+        sol = solve_greedy(problem)
+        assert sol is not None
+        assert "via_mir" in sol.chosen
+        assert "maintain_a" in sol.chosen  # cheapest maintenance
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_greedy_is_not_always_optimal_but_feasible(self):
+        # Greedy takes the 1.0 candidate, then must pay 10; optimum is 2+2.
+        problem = _problem(
+            {"cheap": 1.0, "trap": 10.0, "fair1": 2.0, "fair2": 2.0},
+            [
+                GroupedCandidate("g1_cheap", "g1", ("cheap",), commitments=(("S", "x"),)),
+                GroupedCandidate("g1_fair", "g1", ("fair1",), commitments=(("S", "y"),)),
+                GroupedCandidate("g2_trap", "g2", ("trap",), commitments=(("S", "x"),)),
+                GroupedCandidate("g2_fair", "g2", ("fair2",), commitments=(("S", "y"),)),
+            ],
+            ["g1", "g2"],
+        )
+        sol = solve_greedy(problem)
+        assert sol is not None
+        assert sol.satisfied_groups == {"g1", "g2"}
+        # both committed to one attribute for S
+        assert len(sol.partitioning) == 1
+
+    def test_incompatible_corner_returns_none(self):
+        problem = _problem(
+            {"s": 1.0, "t": 1.0},
+            [
+                GroupedCandidate("only_g1", "g1", ("s",), commitments=(("S", "x"),)),
+                GroupedCandidate("only_g2", "g2", ("t",), commitments=(("S", "y"),)),
+            ],
+            ["g1", "g2"],
+        )
+        assert solve_greedy(problem) is None
+
+    def test_selection_objective_unions_steps(self):
+        problem = _problem(
+            {"a": 2.0, "b": 3.0},
+            [
+                GroupedCandidate("c1", "g1", ("a", "b")),
+                GroupedCandidate("c2", "g2", ("a",)),
+            ],
+            ["g1", "g2"],
+        )
+        assert selection_objective(problem, ["c1", "c2"]) == 5.0

@@ -1,0 +1,161 @@
+"""Tests for the in-house two-phase simplex, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.ilp.simplex import solve_lp
+
+_INF = np.inf
+
+
+def _solve(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lb=None, ub=None):
+    n = len(c)
+    lb = np.zeros(n) if lb is None else np.asarray(lb, float)
+    ub = np.full(n, _INF) if ub is None else np.asarray(ub, float)
+    return solve_lp(
+        np.asarray(c, float),
+        np.asarray(a_ub, float) if a_ub is not None else None,
+        np.asarray(b_ub, float) if b_ub is not None else None,
+        np.asarray(a_eq, float) if a_eq is not None else None,
+        np.asarray(b_eq, float) if b_eq is not None else None,
+        lb,
+        ub,
+    )
+
+
+class TestBasicLPs:
+    def test_simple_maximization_as_min(self):
+        # max x + y s.t. x + 2y <= 4, 3x + y <= 6 -> x=1.6, y=1.2, sum 2.8
+        res = _solve([-1, -1], a_ub=[[1, 2], [3, 1]], b_ub=[4, 6])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-2.8)
+
+    def test_equality_constraints(self):
+        res = _solve([1, 2], a_eq=[[1, 1]], b_eq=[1])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)
+        np.testing.assert_allclose(res.x, [1.0, 0.0], atol=1e-8)
+
+    def test_upper_bounds_respected(self):
+        res = _solve([-1, -1], ub=[1, 2], a_ub=[[1, 1]], b_ub=[10])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_lower_bound_shift(self):
+        # min x with x >= 2.5
+        res = _solve([1], lb=[2.5], ub=[10])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(2.5)
+
+    def test_negative_rhs_requires_artificials(self):
+        # x - y <= -1 means y >= x + 1; min y -> x=0, y=1
+        res = _solve([0, 1], a_ub=[[1, -1]], b_ub=[-1], ub=[5, 5])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)
+
+    def test_degenerate_lp(self):
+        res = _solve(
+            [-1, -1, -1],
+            a_ub=[[1, 1, 0], [0, 1, 1], [1, 0, 1], [1, 1, 1]],
+            b_ub=[1, 1, 1, 1.5],
+        )
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(-1.5)
+
+
+class TestEdgeCases:
+    def test_infeasible_by_bounds(self):
+        res = _solve([1], lb=[2], ub=[1])
+        assert res.status == "infeasible"
+
+    def test_infeasible_constraints(self):
+        res = _solve([1, 1], a_ub=[[1, 1]], b_ub=[1], a_eq=[[1, 1]], b_eq=[3], ub=[5, 5])
+        assert res.status == "infeasible"
+
+    def test_unbounded(self):
+        res = _solve([-1], a_ub=[[0]], b_ub=[1])
+        assert res.status == "unbounded"
+
+    def test_zero_variables_edge(self):
+        res = _solve([0, 0], a_ub=[[1, 1]], b_ub=[1])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(0.0)
+
+    def test_redundant_equalities(self):
+        res = _solve([1, 1], a_eq=[[1, 1], [2, 2]], b_eq=[1, 2])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)
+
+    def test_binary_relaxation_box(self):
+        # LP relaxation of a covering problem: min x+y, x+y >= 1, 0<=x,y<=1.
+        res = _solve([1, 1], a_ub=[[-1, -1]], b_ub=[-1], ub=[1, 1])
+        assert res.status == "optimal"
+        assert res.objective == pytest.approx(1.0)
+
+
+@st.composite
+def random_lp(draw):
+    """Bounded-feasible random LP: box [0, ub] with <= constraints, b >= 0.
+
+    x = 0 is always feasible, so the instance is never infeasible, and the
+    box keeps it bounded — scipy and our simplex must agree exactly.
+    """
+    n = draw(st.integers(2, 6))
+    m = draw(st.integers(1, 6))
+    c = draw(
+        st.lists(st.floats(-5, 5, allow_nan=False, width=32), min_size=n, max_size=n)
+    )
+    a = [
+        draw(st.lists(st.floats(-3, 3, allow_nan=False, width=32), min_size=n, max_size=n))
+        for _ in range(m)
+    ]
+    b = draw(
+        st.lists(st.floats(0, 10, allow_nan=False, width=32), min_size=m, max_size=m)
+    )
+    ub = draw(
+        st.lists(st.floats(0.5, 4, allow_nan=False, width=32), min_size=n, max_size=n)
+    )
+    return c, a, b, ub
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_matches_scipy_on_random_bounded_lps(self, lp):
+        c, a, b, ub = lp
+        ours = _solve(c, a_ub=a, b_ub=b, ub=ub)
+        ref = linprog(c, A_ub=a, b_ub=b, bounds=[(0, u) for u in ub], method="highs")
+        assert ours.status == "optimal"
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_matches_scipy_with_equalities(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = 5
+            c = rng.uniform(-2, 2, n)
+            a_eq = rng.uniform(-1, 1, (2, n))
+            x_feas = rng.uniform(0, 1, n)
+            b_eq = a_eq @ x_feas  # guarantees feasibility inside the box
+            ours = _solve(c, a_eq=a_eq, b_eq=b_eq, ub=np.ones(n) * 2)
+            ref = linprog(
+                c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, 2)] * n, method="highs"
+            )
+            assert ours.status == "optimal"
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_solution_vector_is_feasible(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            n, m = 6, 4
+            c = rng.uniform(-1, 1, n)
+            a = rng.uniform(-1, 1, (m, n))
+            b = rng.uniform(0.5, 3, m)
+            res = _solve(c, a_ub=a, b_ub=b, ub=np.ones(n))
+            assert res.status == "optimal"
+            assert np.all(a @ res.x <= b + 1e-7)
+            assert np.all(res.x >= -1e-9)
+            assert np.all(res.x <= 1 + 1e-9)

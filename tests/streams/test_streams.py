@@ -1,0 +1,166 @@
+"""Tests for stream generators, TPC-H workload, and the ILP environments."""
+
+import pytest
+
+from repro.core.predicates import JoinPredicate
+from repro.streams.generators import (
+    StreamSpec,
+    generate_streams,
+    merge_streams,
+    partnered_streams,
+    uniform_domain,
+)
+from repro.streams.tpch import (
+    KEY_DOMAINS,
+    RATE_WEIGHTS,
+    TPCH_RELATIONS,
+    five_query_workload,
+    ten_query_workload,
+    tpch_catalog,
+    tpch_specs,
+)
+from repro.streams.workloads import make_environment, random_queries
+
+
+class TestGenerators:
+    def test_rate_controls_tuple_count(self):
+        specs = [StreamSpec("R", 10.0, {"a": uniform_domain(5)})]
+        streams, merged = generate_streams(specs, duration=20.0, seed=1)
+        assert 150 <= len(streams["R"]) <= 250  # ~200 expected
+
+    def test_merged_feed_is_sorted(self):
+        specs = [
+            StreamSpec("R", 10.0, {"a": uniform_domain(5)}),
+            StreamSpec("S", 5.0, {"a": uniform_domain(5)}),
+        ]
+        _, merged = generate_streams(specs, duration=10.0, seed=2)
+        timestamps = [t.trigger_ts for t in merged]
+        assert timestamps == sorted(timestamps)
+
+    def test_deterministic_given_seed(self):
+        specs = [StreamSpec("R", 10.0, {"a": uniform_domain(5)})]
+        _, a = generate_streams(specs, duration=5.0, seed=3)
+        _, b = generate_streams(specs, duration=5.0, seed=3)
+        assert [t.key() for t in a] == [t.key() for t in b]
+
+    def test_values_within_domain(self):
+        specs = [StreamSpec("R", 20.0, {"a": uniform_domain(4)})]
+        streams, _ = generate_streams(specs, duration=10.0, seed=4)
+        assert all(0 <= t.get("R.a") < 4 for t in streams["R"])
+
+    def test_merge_streams_unions(self):
+        specs = [
+            StreamSpec("R", 10.0, {"a": uniform_domain(5)}),
+            StreamSpec("S", 10.0, {"a": uniform_domain(5)}),
+        ]
+        streams, merged = generate_streams(specs, duration=5.0, seed=5)
+        assert len(merged) == len(streams["R"]) + len(streams["S"])
+        assert merge_streams(streams)[0].trigger_ts == merged[0].trigger_ts
+
+    def test_partnered_streams_shift_changes_domain(self):
+        relations = [("S", ["b"]), ("T", ["b"])]
+        rates = {"S": 20.0, "T": 20.0}
+        streams, _ = partnered_streams(
+            relations,
+            rates,
+            duration=20.0,
+            partner_window=5.0,
+            seed=6,
+            shift_at=10.0,
+            shifted_domain_scale=0.02,
+            shifted_attrs=["S.b", "T.b"],
+        )
+        early = {t.get("S.b") for t in streams["S"] if t.trigger_ts < 10.0}
+        late = {t.get("S.b") for t in streams["S"] if t.trigger_ts >= 10.0}
+        assert len(late) < len(early)
+
+
+class TestTpch:
+    def test_all_eight_relations_defined(self):
+        assert set(TPCH_RELATIONS) == {"R", "N", "S", "C", "P", "PS", "O", "L"}
+
+    def test_rate_ratios_follow_weights(self):
+        catalog = tpch_catalog(total_rate=100.0)
+        assert catalog.rate("L") > catalog.rate("O") > catalog.rate("S")
+        ratio = catalog.rate("L") / catalog.rate("R")
+        assert ratio == pytest.approx(RATE_WEIGHTS["L"] / RATE_WEIGHTS["R"])
+
+    def test_five_query_workload_shapes(self):
+        queries = five_query_workload()
+        assert len(queries) == 5
+        assert all(q.size == 4 for q in queries)
+
+    def test_ten_query_workload_extends_five(self):
+        ten = ten_query_workload()
+        assert len(ten) == 10
+        assert [q.name for q in ten[:5]] == [q.name for q in five_query_workload()]
+
+    def test_status_join_is_high_selectivity(self):
+        catalog = tpch_catalog()
+        status = JoinPredicate.of("L.linestatus", "O.orderstatus")
+        pk_fk = JoinPredicate.of("L.orderkey", "O.orderkey")
+        assert catalog.selectivity(status) == pytest.approx(1 / 3)
+        assert catalog.selectivity(status) > catalog.selectivity(pk_fk)
+
+    def test_partial_overlap_join_is_low_selectivity(self):
+        catalog = tpch_catalog()
+        overlap = JoinPredicate.of("C.custkey", "N.nationkey")
+        assert catalog.selectivity(overlap) == pytest.approx(
+            1.0 / KEY_DOMAINS["custkey"]
+        )
+
+    def test_specs_cover_all_relations(self):
+        specs = tpch_specs(total_rate=80.0)
+        assert {s.relation for s in specs} == set(TPCH_RELATIONS)
+        assert sum(s.rate for s in specs) == pytest.approx(80.0)
+
+
+class TestIlpWorkloads:
+    def test_environment_relations_and_catalog(self):
+        env = make_environment(10, num_attributes=3, rate=100.0)
+        assert len(env.relations) == 10
+        assert env.catalog.rate("S0") == 100.0
+        assert env.catalog.default_selectivity == pytest.approx(0.01)
+
+    def test_random_queries_are_connected_and_sized(self):
+        env = make_environment(10)
+        queries = random_queries(env, 20, query_size=3, seed=1)
+        assert len(queries) == 20
+        assert all(q.size == 3 for q in queries)
+
+    def test_redraw_mode_yields_distinct(self):
+        env = make_environment(4, num_attributes=1)
+        queries = random_queries(env, 10, query_size=3, seed=2)
+        signatures = {
+            (q.relations, tuple(sorted(str(p) for p in q.predicates)))
+            for q in queries
+        }
+        assert len(signatures) == len(queries)
+
+    def test_drop_mode_can_return_fewer(self):
+        env = make_environment(3, num_attributes=1)
+        queries = random_queries(
+            env, 50, query_size=3, seed=3, duplicates="drop"
+        )
+        assert len(queries) < 50  # tiny pool saturates quickly
+
+    def test_same_index_matching_restricts_predicates(self):
+        env = make_environment(6)
+        queries = random_queries(
+            env, 10, seed=4, attribute_matching="same_index"
+        )
+        for q in queries:
+            for pred in q.predicates:
+                assert pred.left.name == pred.right.name
+
+    def test_invalid_modes_rejected(self):
+        env = make_environment(5)
+        with pytest.raises(ValueError):
+            random_queries(env, 5, attribute_matching="bogus")
+        with pytest.raises(ValueError):
+            random_queries(env, 5, duplicates="bogus")
+
+    def test_impossible_request_raises(self):
+        env = make_environment(2, num_attributes=1)
+        with pytest.raises(RuntimeError):
+            random_queries(env, 50, query_size=2, seed=5)

@@ -1,0 +1,131 @@
+"""Smoke tests for the experiment drivers (tiny parameterizations).
+
+The benchmarks run the paper-scale versions; these tests assert the
+*claims* each figure makes on miniature instances so regressions in the
+experiment code are caught by ``pytest tests/``.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import ratio_summary, run_fig7, workload_for
+from repro.experiments.fig8 import run_fig8a, run_fig8b
+from repro.experiments.fig9 import run_point, sweep_num_queries
+from repro.experiments.reporting import format_series, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.001)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series(self):
+        text = format_series("s", [(1, 2.0), (2, 3.0)])
+        assert text.startswith("s:")
+        assert "1: 2" in text
+
+
+class TestFig9Driver:
+    def test_point_fields_consistent(self):
+        point = run_point(8, 6, seed=1)
+        assert point.num_distinct <= point.num_queries
+        assert point.num_variables > 0
+        assert point.num_probe_orders > 0
+        assert point.optimize_seconds > 0
+
+    def test_mqo_never_worse_than_individual(self):
+        for seed in (1, 2, 3):
+            point = run_point(8, 8, seed=seed)
+            assert point.mqo_cost <= point.individual_cost + 1e-6
+
+    def test_savings_grow_with_queries_on_small_universe(self):
+        few = run_point(8, 5, seed=7)
+        many = run_point(8, 40, seed=7)
+        assert many.savings >= few.savings - 0.02
+
+    def test_large_universe_has_smaller_savings(self):
+        small = run_point(8, 20, seed=9)
+        large = run_point(60, 20, seed=9)
+        assert large.savings <= small.savings + 0.05
+
+    def test_sweep_returns_requested_points(self):
+        points = sweep_num_queries(8, [4, 8], seed=1)
+        assert [p.num_queries for p in points] == [4, 8]
+
+    def test_own_solver_matches_scipy(self):
+        own = run_point(8, 4, seed=5, solver="own")
+        ref = run_point(8, 4, seed=5, solver="scipy")
+        assert own.mqo_cost == pytest.approx(ref.mqo_cost)
+
+
+class TestFig7Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig7(
+            num_queries=5,
+            total_rate=80.0,
+            duration=8.0,
+            overload_rate=400.0,
+            overload_duration=2.0,
+            solver="scipy",
+        )
+
+    def test_all_strategies_reported(self, rows):
+        assert [r.strategy for r in rows] == ["FI", "SI", "FS", "SS", "CMQO"]
+
+    def test_no_strategy_failed(self, rows):
+        assert not any(r.failed for r in rows)
+
+    def test_independent_needs_more_memory_than_shared(self, rows):
+        by = {r.strategy: r for r in rows}
+        assert by["SI"].peak_memory_units > by["SS"].peak_memory_units
+        assert by["FI"].peak_memory_units > by["FS"].peak_memory_units
+
+    def test_cmqo_probe_cost_lowest(self, rows):
+        by = {r.strategy: r for r in rows}
+        assert by["CMQO"].probe_cost <= by["SS"].probe_cost + 1e-6
+
+    def test_ratio_summary_keys(self, rows):
+        ratios = ratio_summary(rows)
+        assert "memory_ratio_si_vs_ss" in ratios
+        assert ratios["memory_ratio_si_vs_ss"] > 1.0
+
+    def test_workload_for_validates(self):
+        assert len(workload_for(5)) == 5
+        assert len(workload_for(10)) == 10
+        with pytest.raises(ValueError):
+            workload_for(7)
+
+
+class TestFig8Driver:
+    """Miniature Fig. 8 scenarios; the bench runs the paper-scale versions.
+
+    The post-shift workload of 8a produces quadratically many intermediate
+    results, so these tests use deliberately small rates/durations — they
+    assert the qualitative events, not the magnitudes.
+    """
+
+    def test_fig8a_adaptive_recovers_static_fails(self):
+        outcomes = run_fig8a(
+            rate=20.0, duration=14.0, shift_at=7.0, window=3.0,
+            memory_limit=6_000.0, profile_scale=8.0, seed=3,
+        )
+        static, adaptive = outcomes["static"], outcomes["adaptive"]
+        assert adaptive.switches, "adaptive run must reconfigure"
+        # static either dies of memory overflow or ends up far slower
+        assert static.failed or (
+            static.mean_latency_after > adaptive.mean_latency_after
+        )
+
+    def test_fig8b_adaptive_lowers_latency(self):
+        outcomes = run_fig8b(
+            fast_rate=80.0, slow_rate=2.5, duration=14.0, shift_at=7.0,
+            window=3.0, profile_scale=8.0, seed=3,
+        )
+        adaptive = outcomes["adaptive"]
+        assert adaptive.switches
+        assert (
+            adaptive.mean_latency_after
+            <= outcomes["static"].mean_latency_after + 1e-9
+        )
