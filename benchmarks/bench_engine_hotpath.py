@@ -1,0 +1,324 @@
+"""Engine hot-path micro-benchmark: insert / probe / evict throughput.
+
+Isolates the container-level hot path from the figure-level benchmarks so
+engine regressions are measurable on their own:
+
+* ``insert`` — tuples inserted into a container with two live hash indexes,
+* ``probe``  — indexed equi-probes against a populated sliding window,
+* ``evict``  — a sliding-window workload interleaving inserts, probes, and
+  periodic eviction passes (the pattern the runtime actually executes),
+* ``logical`` — an end-to-end logical-mode run of a 3-way join topology.
+
+Every container scenario is run against both the current
+:class:`repro.engine.stores.Container` and ``NaiveContainer`` — a faithful
+copy of the seed implementation (full-container scan per eviction pass,
+all indexes discarded and rebuilt afterwards) — so the speedup of the
+incremental design is printed alongside the absolute numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py [--tuples 60000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.core.predicates import JoinPredicate
+from repro.engine.stores import Container, orient_predicates, probe_batch
+from repro.engine.tuples import StreamTuple, input_tuple
+
+
+class NaiveContainer:
+    """Faithful copy of the seed implementation (commit d17190a).
+
+    Semantics identical to the current container; costs replicated
+    deliberately: ``latest_ts`` was a property recomputing
+    ``max(timestamps.values())`` on every access, ``arrived_before`` ran a
+    generator expression over all components, eviction re-scanned the whole
+    container and threw away every hash index (rebuilt on the next probe),
+    predicates were re-oriented per stored candidate, results were merged
+    through the plain constructor, and the pairwise window check always ran
+    the nested per-relation loop.
+    """
+
+    __slots__ = ("tuples", "indexes")
+
+    def __init__(self, bucket_width: Optional[float] = None) -> None:
+        self.tuples: List[StreamTuple] = []
+        self.indexes: Dict[str, Dict[object, List[StreamTuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def insert(self, tup: StreamTuple) -> None:
+        self.tuples.append(tup)
+        for attr, index in self.indexes.items():
+            index.setdefault(tup.get(attr), []).append(tup)
+
+    def index_on(self, attr: str) -> Dict[object, List[StreamTuple]]:
+        index = self.indexes.get(attr)
+        if index is None:
+            index = {}
+            for tup in self.tuples:
+                index.setdefault(tup.get(attr), []).append(tup)
+            self.indexes[attr] = index
+        return index
+
+    @staticmethod
+    def _latest_ts(tup: StreamTuple) -> float:
+        return max(tup.timestamps.values())  # the seed's property, per access
+
+    def evict_older_than(self, horizon: float) -> int:
+        if not self.tuples:
+            return 0
+        keep = [t for t in self.tuples if self._latest_ts(t) >= horizon]
+        evicted_width = sum(t.width for t in self.tuples) - sum(
+            t.width for t in keep
+        )
+        if evicted_width:
+            self.tuples = keep
+            self.indexes = {}  # the seed's "rebuild lazily next time"
+        return evicted_width
+
+    @staticmethod
+    def _orient(pred: JoinPredicate, probe: StreamTuple):
+        left_rel = pred.left.relation
+        if left_rel in probe.timestamps:
+            return str(pred.left), str(pred.right)
+        return str(pred.right), str(pred.left)
+
+    def probe(self, probe: StreamTuple, predicates, windows):
+        first = predicates[0]
+        probe_attr, stored_attr = self._orient(first, probe)
+        index = self.index_on(stored_attr)
+        results = []
+        checked = 0
+        for stored in index.get(probe.get(probe_attr), []):
+            checked += 1
+            if not all(
+                ts < probe.trigger_ts for ts in stored.timestamps.values()
+            ):
+                continue
+            ok = True
+            for pred in predicates:  # the seed re-oriented per candidate
+                pa, sa = self._orient(pred, probe)
+                if probe.get(pa) != stored.get(sa):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if not probe.within_windows(stored, windows):
+                continue
+            results.append(
+                _seed_merge(probe, stored)
+            )
+        return results, checked
+
+
+def _seed_merge(a: StreamTuple, b: StreamTuple) -> StreamTuple:
+    """The seed's merge: dict copies through the plain constructor."""
+    values = dict(a.values)
+    values.update(b.values)
+    timestamps = dict(a.timestamps)
+    timestamps.update(b.timestamps)
+    return StreamTuple(
+        values=values, timestamps=timestamps, trigger=a.trigger,
+        trigger_ts=a.trigger_ts,
+    )
+
+
+def make_tuples(n: int, domain: int, rate: float, seed: int) -> List[StreamTuple]:
+    rng = random.Random(seed)
+    out = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.random() * (2.0 / rate)
+        out.append(
+            input_tuple("S", t, {"a": rng.randrange(domain), "b": rng.randrange(domain)})
+        )
+    return out
+
+
+def bench_insert(container_cls, tuples, bucket_width):
+    cont = container_cls(bucket_width=bucket_width)
+    cont.index_on("S.a")
+    cont.index_on("S.b")
+    start = time.perf_counter()
+    for tup in tuples:
+        cont.insert(tup)
+    return len(tuples) / (time.perf_counter() - start)
+
+
+def bench_probe(container_cls, tuples, probes, bucket_width, windows, preds, chunk=64):
+    """Probes are driven the way the runtime drives them: in micro-batches
+    whose results are consumed (not accumulated across the whole run)."""
+    cont = container_cls(bucket_width=bucket_width)
+    for tup in tuples:
+        cont.insert(tup)
+    oriented = orient_predicates(preds, {"R"})
+    start = time.perf_counter()
+    if isinstance(cont, Container):
+        uniform = windows["S"] if windows["S"] == windows["R"] else None
+        for i in range(0, len(probes), chunk):
+            probe_batch(cont, probes[i : i + chunk], oriented, windows, uniform)
+    else:
+        for probe in probes:
+            cont.probe(probe, preds, windows)
+    return len(probes) / (time.perf_counter() - start)
+
+
+def bench_sliding_window(
+    container_cls, tuples, bucket_width, windows, preds, retention, evict_every
+):
+    """The runtime's actual pattern: insert + probe + periodic eviction."""
+    cont = container_cls(bucket_width=bucket_width)
+    oriented = orient_predicates(preds, {"R"})
+    ops = 0
+    start = time.perf_counter()
+    for i, tup in enumerate(tuples):
+        cont.insert(tup)
+        probe = input_tuple("R", tup.trigger_ts + 1e-9, {"a": tup.get("S.a")})
+        if isinstance(cont, Container):
+            probe_batch(cont, (probe,), oriented, windows, windows["S"])
+        else:
+            cont.probe(probe, preds, windows)
+        ops += 2
+        if i % evict_every == evict_every - 1:
+            cont.evict_older_than(tup.trigger_ts - retention)
+            ops += 1
+    return ops / (time.perf_counter() - start)
+
+
+def bench_logical_runtime(num_inputs: int, seed: int) -> float:
+    """End-to-end logical-mode throughput of a 3-way join topology."""
+    from repro.core import (
+        ClusterConfig,
+        OptimizerConfig,
+        Query,
+        StatisticsCatalog,
+        build_topology,
+    )
+    from repro.core.optimizer import MultiQueryOptimizer
+    from repro.engine import RuntimeConfig, TopologyRuntime
+
+    query = Query.of("q", "R.a=S.a", "S.b=T.b")
+    catalog = StatisticsCatalog(default_selectivity=0.02, default_window=8.0)
+    for rel in "RST":
+        catalog.with_rate(rel, 10.0)
+    attrs = {"R": ["a"], "S": ["a", "b"], "T": ["b"]}
+    rng = random.Random(seed)
+    inputs = []
+    t = 0.0
+    for _ in range(num_inputs):
+        t += rng.random() * 0.02
+        rel = rng.choice("RST")
+        inputs.append(
+            input_tuple(rel, t, {a: rng.randrange(40) for a in attrs[rel]})
+        )
+    cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=2))
+    plan = MultiQueryOptimizer(catalog, cfg, solver="own").optimize([query])
+    topology = build_topology(plan.plan, catalog, cfg.cluster)
+    runtime = TopologyRuntime(
+        topology, {r: 8.0 for r in "RST"}, RuntimeConfig(mode="logical")
+    )
+    start = time.perf_counter()
+    runtime.run(inputs)
+    return num_inputs / (time.perf_counter() - start)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=60_000)
+    parser.add_argument("--probes", type=int, default=20_000)
+    parser.add_argument("--domain", type=int, default=500)
+    parser.add_argument("--rate", type=float, default=1000.0)
+    parser.add_argument("--retention", type=float, default=10.0)
+    parser.add_argument("--evict-every", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--logical-inputs", type=int, default=30_000)
+    #: the combined scenario models a production window: more live state
+    #: (rate × retention) and a finer join-attribute domain
+    parser.add_argument("--sliding-retention", type=float, default=20.0)
+    parser.add_argument("--sliding-domain", type=int, default=2000)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero if the combined insert/probe/evict speedup "
+        "falls below this factor (CI regression gate)",
+    )
+    args = parser.parse_args()
+    for name in ("tuples", "probes", "domain", "logical_inputs", "evict_every"):
+        if getattr(args, name) <= 0:
+            parser.error(f"--{name.replace('_', '-')} must be positive")
+
+    tuples = make_tuples(args.tuples, args.domain, args.rate, args.seed)
+    rng = random.Random(args.seed + 1)
+    last_ts = tuples[-1].trigger_ts
+    probes = [
+        input_tuple("R", last_ts + 1.0, {"a": rng.randrange(args.domain)})
+        for _ in range(args.probes)
+    ]
+    windows = {"R": args.retention, "S": args.retention}
+    preds = (JoinPredicate.of("R.a", "S.a"),)
+    bucket_width = args.retention / 16
+
+    print(f"# engine hot path — {args.tuples} tuples, domain {args.domain}")
+    header = f"{'scenario':<20}{'naive (ops/s)':>16}{'current (ops/s)':>18}{'speedup':>10}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        (
+            "insert",
+            bench_insert(NaiveContainer, tuples, bucket_width),
+            bench_insert(Container, tuples, bucket_width),
+        ),
+        (
+            "probe",
+            bench_probe(NaiveContainer, tuples, probes, bucket_width, windows, preds),
+            bench_probe(Container, tuples, probes, bucket_width, windows, preds),
+        ),
+    ]
+    sliding_tuples = make_tuples(
+        args.tuples, args.sliding_domain, args.rate, args.seed + 2
+    )
+    sliding_windows = {"R": args.sliding_retention, "S": args.sliding_retention}
+    sliding_args = (
+        sliding_tuples,
+        args.sliding_retention / 16,
+        sliding_windows,
+        preds,
+        args.sliding_retention,
+        args.evict_every,
+    )
+    rows.append(
+        (
+            "insert/probe/evict",
+            bench_sliding_window(NaiveContainer, *sliding_args),
+            bench_sliding_window(Container, *sliding_args),
+        )
+    )
+    for name, naive, current in rows:
+        print(f"{name:<20}{naive:>16,.0f}{current:>18,.0f}{current / naive:>9.1f}x")
+
+    logical = bench_logical_runtime(args.logical_inputs, args.seed)
+    print(f"\nlogical-mode end-to-end: {logical:,.0f} inputs/s "
+          f"({args.logical_inputs} inputs, 3-way join, parallelism 2)")
+
+    if args.min_speedup is not None:
+        _, naive, current = rows[-1]  # the combined insert/probe/evict row
+        speedup = current / naive
+        if speedup < args.min_speedup:
+            raise SystemExit(
+                f"REGRESSION: insert/probe/evict speedup {speedup:.2f}x "
+                f"below required {args.min_speedup:g}x"
+            )
+        print(f"speedup gate: {speedup:.1f}x >= {args.min_speedup:g}x OK")
+
+
+if __name__ == "__main__":
+    main()

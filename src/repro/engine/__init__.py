@@ -13,8 +13,8 @@ from .reference import reference_join, result_keys
 from .routing import stable_hash, target_tasks
 from .runtime import MemoryOverflowError, RuntimeConfig, TopologyRuntime
 from .statistics import EpochStatistics
-from .stores import Container, StoreTask, probe_container
-from .tuples import StreamTuple, input_tuple
+from .stores import Container, StoreTask, orient_predicates, probe_batch, probe_container
+from .tuples import StreamTuple, input_tuple, intern_attr
 
 __all__ = [
     "AdaptiveRuntime",
@@ -32,6 +32,9 @@ __all__ = [
     "SwitchRecord",
     "TopologyRuntime",
     "input_tuple",
+    "intern_attr",
+    "orient_predicates",
+    "probe_batch",
     "probe_container",
     "reference_join",
     "result_keys",

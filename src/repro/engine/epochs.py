@@ -150,7 +150,7 @@ class AdaptiveRuntime(TopologyRuntime):
         for store_id in removed:
             for task in self.tasks.get(store_id, []):
                 freed = sum(
-                    sum(t.width for t in cont.tuples)
+                    sum(t.width for t in cont.iter_tuples())
                     for cont in task.containers.values()
                 )
                 if freed:
@@ -172,7 +172,7 @@ class AdaptiveRuntime(TopologyRuntime):
         tuples: List[StreamTuple] = []
         for task in old_tasks:
             for container in task.containers.values():
-                tuples.extend(container.tuples)
+                tuples.extend(container.iter_tuples())
         self.tasks[spec.store_id] = [
             StoreTask(store_id=spec.store_id, task_index=i, retention=spec.retention)
             for i in range(spec.parallelism)
@@ -204,7 +204,7 @@ class AdaptiveRuntime(TopologyRuntime):
             live: List[StreamTuple] = []
             for task in self.tasks.get(relation, []):
                 for container in task.containers.values():
-                    live.extend(container.tuples)
+                    live.extend(container.iter_tuples())
             streams[relation] = sorted(live, key=lambda t: t.latest_ts)
         sub_query = maintenance_query(spec.mir)
         intermediates = reference_join(sub_query, streams, self.windows)

@@ -63,6 +63,12 @@ class EngineMetrics:
         self.probes_executed += 1
         self.comparisons += candidates_checked
 
+    def on_probe_batch(self, probes: int, candidates_checked: int) -> None:
+        """Batched bookkeeping: ``probes`` probes scanned ``candidates_checked``
+        candidates in total (one call per rule application per batch)."""
+        self.probes_executed += probes
+        self.comparisons += candidates_checked
+
     def on_result(self, query: str, completion_ts: float, trigger_ts: float) -> None:
         self.results_emitted += 1
         self.results_per_query[query] = self.results_per_query.get(query, 0) + 1

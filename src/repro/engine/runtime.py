@@ -14,20 +14,39 @@ Two modes share all rule/routing logic (Algorithm 3):
   end-to-end latency emerge from the queueing behaviour (the paper's
   Figures 7b/7d/8); a memory limit models the "workers failed due to memory
   overflow" outcome of Figure 8a.
+
+Hot-path design (see docs/engine.md):
+
+* Logical mode drains inputs in micro-batches: consecutive tuples of the
+  same relation share one cascade, and every inter-task hop carries a
+  *batch* of tuples, so edge/rule lookups, hash-index resolution, predicate
+  orientation, and metrics bookkeeping are amortized across the batch.
+  Batching is sound because (a) cascades triggered by the same relation
+  never interact — probes only target stores whose lineage is disjoint
+  from the probing tuple, stores always target lineage-containing stores —
+  and (b) the strict ``arrived_before`` order makes same-trigger tuples
+  invisible to each other.  Runtimes that override the per-input hooks
+  (the adaptive runtime switches plans between inputs) fall back to
+  per-tuple cascades automatically.
+* Predicate orientation (probe-side vs. stored-side attribute) depends
+  only on the probing tuple's lineage, which is fixed per topology edge;
+  it is computed once per (rule, lineage) and cached.
+* When every relation shares one window length, the pairwise window check
+  collapses to an O(1) comparison of precomputed timestamp extrema.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.topology import ProbeRule, StoreRule, Topology
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, EngineProfile
 from .routing import stable_hash, target_tasks
-from .stores import StoreTask, probe_container
+from .stores import StoreTask, orient_predicates, probe_batch
 from .tuples import StreamTuple
 
 __all__ = ["RuntimeConfig", "TopologyRuntime", "MemoryOverflowError"]
@@ -52,10 +71,15 @@ class RuntimeConfig:
     #: (paper: 96 workers on 8 nodes); None gives every task its own server,
     #: which removes contention between duplicated stores
     num_machines: Optional[int] = None
+    #: logical mode: maximum number of consecutive same-relation inputs
+    #: drained into one shared cascade (1 disables input batching)
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.mode not in ("logical", "timed"):
             raise ValueError(f"unknown runtime mode {self.mode!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 class TopologyRuntime:
@@ -81,6 +105,10 @@ class TopologyRuntime:
             [0.0] * self.config.num_machines if self.config.num_machines else []
         )
         self._dispatch_counter = 0
+        #: (id(rule), probe lineage) -> (rule ref, oriented predicate pairs);
+        #: the rule reference keeps the key's id() stable
+        self._oriented_cache: Dict[tuple, tuple] = {}
+        self._uniform_window = self._compute_uniform_window()
         self._install_stores(topology)
 
     # ------------------------------------------------------------------
@@ -104,6 +132,27 @@ class TopologyRuntime:
             )
             for label, edge in topology.edges.items()
         }
+
+    def _compute_uniform_window(self) -> Optional[float]:
+        """The shared window length, or ``None`` if windows differ.
+
+        Only relations the topology can ever see matter; a uniform window
+        enables the O(1) pairwise check of
+        :meth:`~repro.engine.tuples.StreamTuple.within_uniform_window`.
+        """
+        relations = set(self.topology.ingest)
+        for query in self.topology.queries.values():
+            relations |= query.relation_set
+        for spec in self.topology.stores.values():
+            relations |= set(spec.mir.relations)
+        if not relations:
+            return None
+        if not all(rel in self.windows for rel in relations):
+            return None
+        lengths = {self.windows[rel] for rel in relations}
+        if len(lengths) == 1:
+            return lengths.pop()
+        return None
 
     # ------------------------------------------------------------------
     # public API
@@ -129,19 +178,64 @@ class TopologyRuntime:
     # ------------------------------------------------------------------
     def _run_logical(self, inputs: Iterable[StreamTuple]) -> None:
         last_ts = float("-inf")
+        # Cross-input batching requires the default per-input hooks: an
+        # overridden boundary hook (adaptive plan switches) must observe a
+        # fully processed prefix before every input.  A memory budget also
+        # disables it — the seed checked the limit after every input, and
+        # deferring cascades would overshoot the failure point by up to a
+        # whole batch.
+        batchable = (
+            type(self).on_input_boundary is TopologyRuntime.on_input_boundary
+            and type(self).on_ingest is TopologyRuntime.on_ingest
+            and type(self).ingest_edges is TopologyRuntime.ingest_edges
+            and self.config.memory_limit_units is None
+        )
+        batch_size = self.config.batch_size if batchable else 1
+        group: List[StreamTuple] = []
+        group_rel: Optional[str] = None
+
         for tup in inputs:
             if self.metrics.failed:
                 break
-            if tup.trigger_ts < last_ts:
+            ts = tup.trigger_ts
+            if ts < last_ts:
                 raise ValueError("inputs must be sorted by timestamp")
-            last_ts = tup.trigger_ts
-            self.on_input_boundary(tup.trigger_ts)
-            self.metrics.on_input(tup.trigger_ts)
-            self.on_ingest(tup)
-            self._maybe_evict(tup.trigger_ts)
-            for label in self.ingest_edges(tup):
-                self._send_logical(label, tup, tup.trigger_ts)
-            self._check_memory()
+            last_ts = ts
+            if batchable:
+                if group and (
+                    tup.trigger != group_rel or len(group) >= batch_size
+                ):
+                    self._flush_group(group_rel, group)
+                    group = []
+                if self.metrics.failed:
+                    break
+                self.metrics.on_input(ts)
+                group_rel = tup.trigger
+                group.append(tup)
+            else:
+                self.on_input_boundary(ts)
+                self.metrics.on_input(ts)
+                self.on_ingest(tup)
+                self._maybe_evict(ts)
+                for label in self.ingest_edges(tup):
+                    self._send_logical(label, (tup,), ts)
+                self._check_memory()
+        if group and not self.metrics.failed:
+            self._flush_group(group_rel, group)
+
+    def _flush_group(self, relation: str, group: List[StreamTuple]) -> None:
+        """Run the shared cascade of consecutive same-relation inputs.
+
+        Eviction runs *after* the group (never between a pending input and
+        its cascade), so the horizon can only lag the seed's per-tuple
+        cadence — which is safe: lagging eviction keeps extra tuples whose
+        window checks fail anyway.
+        """
+        now = group[-1].trigger_ts
+        for label in self.topology.ingest.get(relation, []):
+            self._send_logical(label, group, now)
+        self._maybe_evict(now, ops=len(group))
+        self._check_memory()
 
     def ingest_edges(self, tup: StreamTuple) -> List[str]:
         """Edges a freshly arrived input tuple is sent along (hook point)."""
@@ -161,20 +255,78 @@ class TopologyRuntime:
         """Rule lookup (adaptive runtimes archive rules across switches)."""
         return self.topology.rules_for(store_id, label)
 
-    def _send_logical(self, label: str, tup: StreamTuple, now: float) -> None:
+    def _send_logical(
+        self, label: str, tups: Sequence[StreamTuple], now: float
+    ) -> None:
+        """Deliver a batch of same-lineage tuples along one edge."""
         edge = self.edge_spec(label)
-        spec = self._store_spec(edge.target_store)
-        targets = self._resolve_targets(label, edge, spec, tup)
-        self.metrics.on_send(len(targets))
-        for task_index in targets:
-            task = self.tasks[edge.target_store][task_index]
-            for result, queries, out_edges in self._apply_rules(
-                task, label, edge.target_store, tup
-            ):
-                for query in queries:
-                    self._emit(query, result, now)
-                for out_label in out_edges:
-                    self._send_logical(out_label, result, now)
+        store_id = edge.target_store
+        spec = self._store_spec(store_id)
+        tasks = self.tasks[store_id]
+        rules = self.rules_for(store_id, label)
+
+        per_task: Dict[int, List[StreamTuple]]
+        if spec.parallelism <= 1:
+            per_task = {0: list(tups)}
+            self.metrics.on_send(len(tups))
+        else:
+            per_task = {}
+            fanout = 0
+            for tup in tups:
+                targets = self._resolve_targets(label, edge, spec, tup)
+                fanout += len(targets)
+                for task_index in targets:
+                    bucket = per_task.get(task_index)
+                    if bucket is None:
+                        per_task[task_index] = [tup]
+                    else:
+                        bucket.append(tup)
+            self.metrics.on_send(fanout)
+
+        out_batches: Dict[str, List[StreamTuple]] = {}
+        for task_index, batch in per_task.items():
+            task = tasks[task_index]
+            for rule in rules:
+                if isinstance(rule, StoreRule):
+                    container = task.container(self._epoch)
+                    width = 0
+                    for tup in batch:
+                        container.insert(tup)
+                        width += tup.width
+                    self.metrics.on_store(width)
+                elif isinstance(rule, ProbeRule):
+                    oriented = self._oriented_for(rule, batch[0].lineage)
+                    matches, checked = probe_batch(
+                        task.container(self._epoch),
+                        batch,
+                        oriented,
+                        self.windows,
+                        self._uniform_window,
+                    )
+                    self.metrics.on_probe_batch(len(batch), checked)
+                    if matches:
+                        for query in rule.outputs:
+                            for match in matches:
+                                # logical completion is the triggering
+                                # instant itself (latency 0, as unbatched)
+                                self._emit(query, match, match.trigger_ts)
+                        for out_label in rule.out_edges:
+                            pending = out_batches.get(out_label)
+                            if pending is None:
+                                out_batches[out_label] = list(matches)
+                            else:
+                                pending.extend(matches)
+        for out_label, batch in out_batches.items():
+            self._send_logical(out_label, batch, now)
+
+    def _oriented_for(self, rule: ProbeRule, lineage) -> tuple:
+        """Cached (probe attr, stored attr) orientation for a rule+lineage."""
+        key = (id(rule), lineage)
+        entry = self._oriented_cache.get(key)
+        if entry is None:
+            entry = (rule, orient_predicates(rule.predicates, lineage))
+            self._oriented_cache[key] = entry
+        return entry[1]
 
     # ------------------------------------------------------------------
     # timed mode
@@ -265,9 +417,9 @@ class TopologyRuntime:
     def _apply_rules(
         self, task: StoreTask, label: str, store_id: str, tup: StreamTuple
     ):
-        """Execute Algorithm 3 for one delivered tuple.
+        """Execute Algorithm 3 for one delivered tuple (timed mode).
 
-        Yields ``(result, completed queries, out edges)`` triples; raw
+        Returns ``(result, completed queries, out edges)`` triples; raw
         storage produces no emissions.
         """
         self._last_probe_cost = 0
@@ -279,20 +431,16 @@ class TopologyRuntime:
                 self.metrics.on_store(tup.width)
                 self._last_stored = True
             elif isinstance(rule, ProbeRule):
-                checked_box = [0]
-
-                def count(n, box=checked_box):
-                    box[0] += n
-
-                matches = probe_container(
+                oriented = self._oriented_for(rule, tup.lineage)
+                matches, checked = probe_batch(
                     task.container(self._epoch),
-                    tup,
-                    rule.predicates,
+                    (tup,),
+                    oriented,
                     self.windows,
-                    count_comparisons=count,
+                    self._uniform_window,
                 )
-                self.metrics.on_probe(checked_box[0])
-                self._last_probe_cost += checked_box[0]
+                self.metrics.on_probe(checked)
+                self._last_probe_cost += checked
                 for match in matches:
                     emissions.append((match, rule.outputs, rule.out_edges))
         return emissions
@@ -317,8 +465,8 @@ class TopologyRuntime:
     # ------------------------------------------------------------------
     # housekeeping
     # ------------------------------------------------------------------
-    def _maybe_evict(self, now: float) -> None:
-        self._ops_since_evict += 1
+    def _maybe_evict(self, now: float, ops: int = 1) -> None:
+        self._ops_since_evict += ops
         if self._ops_since_evict < self.config.evict_every:
             return
         self._ops_since_evict = 0

@@ -6,62 +6,208 @@ container is created on each worker together with all aforementioned
 indexes"), hash indexes per accessed attribute ("For each distinct attribute
 access in a store, indices are created locally"), and evicts tuples that
 fell out of the retention window.
+
+Eviction is *incremental*: a container buckets its tuples by coarse
+``latest_ts`` slices, so an eviction pass drops whole expired buckets (plus
+a filter over the single boundary bucket) and removes exactly the evicted
+tuples from the existing hash indexes in place — the indexes survive the
+pass instead of being rebuilt from a full container scan.  The seed
+implementation re-scanned every tuple and discarded all indexes on every
+pass, which made long runs quadratic in the stored-state size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from math import isinf
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.predicates import JoinPredicate
-from .tuples import StreamTuple
+from .tuples import StreamTuple, intern_attr
 
-__all__ = ["Container", "StoreTask", "probe_container"]
+__all__ = ["Container", "StoreTask", "probe_container", "probe_batch", "orient_predicates"]
+
+#: number of coarse time slices a retention window is divided into; eviction
+#: drops whole slices, so larger values evict in finer (cheaper) steps at the
+#: price of more bucket bookkeeping.
+BUCKETS_PER_WINDOW = 16
 
 
 class Container:
-    """Tuple container with lazy per-attribute hash indexes."""
+    """Tuple container with lazy, incrementally-maintained hash indexes.
 
-    __slots__ = ("tuples", "indexes")
+    ``bucket_width`` is the coarse time-slice used to group tuples by
+    ``latest_ts`` (normally ``retention / BUCKETS_PER_WINDOW``); ``None``
+    keeps a single bucket, which still evicts correctly but filters the
+    whole container per pass (used for infinite retention, where eviction
+    never runs anyway).
 
-    def __init__(self) -> None:
-        self.tuples: List[StreamTuple] = []
+    Inserts append to a flat ``_recent`` list — exactly the seed's insert
+    cost — and tuples are moved into their time buckets lazily at the next
+    eviction pass, so bucket bookkeeping is amortized over whole eviction
+    intervals instead of paid per insert.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_recent",
+        "indexes",
+        "_count",
+        "_bucket_width",
+        "index_rebuilds",
+    )
+
+    def __init__(self, bucket_width: Optional[float] = None) -> None:
+        if bucket_width is not None and (bucket_width <= 0 or isinf(bucket_width)):
+            bucket_width = None
+        self._bucket_width = bucket_width
+        self._buckets: Dict[int, List[StreamTuple]] = {}
+        self._recent: List[StreamTuple] = []
         self.indexes: Dict[str, Dict[object, List[StreamTuple]]] = {}
+        self._count = 0
+        #: diagnostic: number of full-scan index (re)builds (tests assert
+        #: eviction does not force rebuilds)
+        self.index_rebuilds = 0
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return self._count
 
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def iter_tuples(self) -> Iterator[StreamTuple]:
+        """All stored tuples, bucket-ordered then arrival-ordered (deterministic)."""
+        for bucket_id in sorted(self._buckets):
+            yield from self._buckets[bucket_id]
+        yield from self._recent
+
+    @property
+    def tuples(self) -> List[StreamTuple]:
+        """Materialized list view (compatibility; prefer :meth:`iter_tuples`)."""
+        return list(self.iter_tuples())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
     def insert(self, tup: StreamTuple) -> None:
-        self.tuples.append(tup)
+        self._recent.append(tup)
+        self._count += 1
+        values = tup.values
         for attr, index in self.indexes.items():
-            index.setdefault(tup.get(attr), []).append(tup)
+            value = values.get(attr)
+            entries = index.get(value)
+            if entries is None:
+                index[value] = [tup]
+            else:
+                entries.append(tup)
+
+    def _flush_recent(self) -> None:
+        """Move freshly inserted tuples into their time buckets."""
+        width = self._bucket_width
+        buckets = self._buckets
+        if width is None:
+            bucket = buckets.get(0)
+            if bucket is None:
+                buckets[0] = list(self._recent)
+            else:
+                bucket.extend(self._recent)
+        else:
+            for tup in self._recent:
+                # int(x // w) floors (floats carry exact integers far beyond
+                # any realistic bucket id) and beats a math.floor call here
+                bucket_id = int(tup.latest_ts // width)
+                bucket = buckets.get(bucket_id)
+                if bucket is None:
+                    buckets[bucket_id] = [tup]
+                else:
+                    bucket.append(tup)
+        self._recent = []
 
     def index_on(self, attr: str) -> Dict[object, List[StreamTuple]]:
         """Create (on first use) and return the hash index for ``attr``."""
         index = self.indexes.get(attr)
         if index is None:
             index = {}
-            for tup in self.tuples:
-                index.setdefault(tup.get(attr), []).append(tup)
+            for tup in self.iter_tuples():
+                value = tup.values.get(attr)
+                entries = index.get(value)
+                if entries is None:
+                    index[value] = [tup]
+                else:
+                    entries.append(tup)
             self.indexes[attr] = index
+            self.index_rebuilds += 1
         return index
 
     def evict_older_than(self, horizon: float) -> int:
         """Drop tuples whose latest component is older than ``horizon``.
 
         Returns the summed width of evicted tuples (memory accounting).
+        Whole expired buckets are dropped; only the boundary bucket is
+        filtered; indexes are updated in place with exactly the evicted
+        tuples (no rebuild).
         """
-        if not self.tuples:
+        if not self._count:
             return 0
-        keep = [t for t in self.tuples if t.latest_ts >= horizon]
-        evicted_width = sum(t.width for t in self.tuples) - sum(
-            t.width for t in keep
-        )
-        if evicted_width:
-            self.tuples = keep
-            # rebuild the touched indexes lazily next time
-            self.indexes = {}
-        return evicted_width
+        if self._recent:
+            self._flush_recent()
+        evicted: List[StreamTuple] = []
+        width = self._bucket_width
+        if width is None:
+            bucket = self._buckets.get(0)
+            if bucket:
+                keep = [t for t in bucket if t.latest_ts >= horizon]
+                if len(keep) != len(bucket):
+                    evicted = [t for t in bucket if t.latest_ts < horizon]
+                    if keep:
+                        self._buckets[0] = keep
+                    else:
+                        del self._buckets[0]
+        else:
+            boundary = int(horizon // width)
+            expired = [b for b in self._buckets if b < boundary]
+            for bucket_id in expired:
+                evicted.extend(self._buckets.pop(bucket_id))
+            bucket = self._buckets.get(boundary)
+            if bucket:
+                keep = [t for t in bucket if t.latest_ts >= horizon]
+                if len(keep) != len(bucket):
+                    evicted.extend(t for t in bucket if t.latest_ts < horizon)
+                    if keep:
+                        self._buckets[boundary] = keep
+                    else:
+                        del self._buckets[boundary]
+        if not evicted:
+            return 0
+        self._count -= len(evicted)
+        if self._count == 0:
+            # container emptied: empty indexes are cheap to recreate and
+            # clearing drops any large dict shells in one go
+            self.indexes = {attr: {} for attr in self.indexes}
+        else:
+            self._unindex(evicted)
+        return sum(t.width for t in evicted)
+
+    def _unindex(self, evicted: Sequence[StreamTuple]) -> None:
+        """Remove exactly ``evicted`` from every maintained index, in place."""
+        if not self.indexes:
+            return
+        dead = {id(t) for t in evicted}
+        for attr, index in self.indexes.items():
+            counts: Dict[object, int] = {}
+            for tup in evicted:
+                value = tup.values.get(attr)
+                counts[value] = counts.get(value, 0) + 1
+            for value, n_dead in counts.items():
+                entries = index.get(value)
+                if entries is None:
+                    continue
+                if len(entries) <= n_dead:
+                    del index[value]
+                else:
+                    entries[:] = [t for t in entries if id(t) not in dead]
+                    if not entries:
+                        del index[value]
 
 
 @dataclass
@@ -75,10 +221,15 @@ class StoreTask:
     #: timed-mode queueing state: when this server is next idle
     next_free: float = 0.0
 
+    def _bucket_width(self) -> Optional[float]:
+        if isinf(self.retention) or self.retention <= 0:
+            return None
+        return self.retention / BUCKETS_PER_WINDOW
+
     def container(self, epoch: int) -> Container:
         cont = self.containers.get(epoch)
         if cont is None:
-            cont = Container()
+            cont = Container(bucket_width=self._bucket_width())
             self.containers[epoch] = cont
         return cont
 
@@ -98,12 +249,95 @@ class StoreTask:
         """Bulk-drop whole epoch containers (epoch-aligned state release)."""
         freed = 0
         for key in [e for e in self.containers if e < epoch]:
-            freed += sum(t.width for t in self.containers[key].tuples)
+            freed += sum(t.width for t in self.containers[key].iter_tuples())
             del self.containers[key]
         return freed
 
     def stored_tuples(self) -> int:
         return sum(len(c) for c in self.containers.values())
+
+
+def orient_predicates(
+    predicates: Tuple[JoinPredicate, ...], probe_lineage: Iterable[str]
+) -> Tuple[Tuple[str, str], ...]:
+    """Pre-orient predicates as ``(probe-side attr, stored-side attr)`` pairs.
+
+    Orientation depends only on which relations the probing tuple carries,
+    which is fixed per topology edge — callers cache the result instead of
+    re-deriving it per stored candidate (as the seed's ``_orient`` did).
+    """
+    lineage = set(probe_lineage)
+    oriented = []
+    for pred in predicates:
+        if pred.left.relation in lineage:
+            pair = (str(pred.left), str(pred.right))
+        else:
+            pair = (str(pred.right), str(pred.left))
+        # interned names make the per-candidate values.get() lookups hit
+        # the pointer-equality fast path of tuples built by input_tuple
+        oriented.append((intern_attr(pair[0]), intern_attr(pair[1])))
+    return tuple(oriented)
+
+
+def probe_batch(
+    container: Container,
+    probes: Sequence[StreamTuple],
+    oriented: Tuple[Tuple[str, str], ...],
+    windows: Dict[str, float],
+    uniform_window: Optional[float] = None,
+) -> Tuple[List[StreamTuple], int]:
+    """Find join partners for a batch of same-lineage probe tuples.
+
+    The hash-index resolution, predicate orientation, and window-mode
+    dispatch are amortized over the batch; returns ``(merged results in
+    probe order, candidates checked)``.  Matches the local probe handling
+    of Algorithm 3.
+    """
+    results: List[StreamTuple] = []
+    checked = 0
+    if not oriented:
+        candidates = container.tuples
+        for probe in probes:
+            trigger_ts = probe.trigger_ts
+            for stored in candidates:
+                checked += 1
+                if stored.latest_ts >= trigger_ts:
+                    continue
+                if uniform_window is not None:
+                    if not probe.within_uniform_window(stored, uniform_window):
+                        continue
+                elif not probe.within_windows(stored, windows):
+                    continue
+                results.append(probe.merge(stored))
+        return results, checked
+
+    first_probe_attr, first_stored_attr = oriented[0]
+    index = container.index_on(first_stored_attr)
+    rest = oriented[1:]
+    for probe in probes:
+        candidates = index.get(probe.values.get(first_probe_attr))
+        if not candidates:
+            continue
+        trigger_ts = probe.trigger_ts
+        probe_values = probe.values
+        for stored in candidates:
+            checked += 1
+            if stored.latest_ts >= trigger_ts:
+                continue
+            if rest:
+                stored_values = stored.values
+                if any(
+                    probe_values.get(pa) != stored_values.get(sa)
+                    for pa, sa in rest
+                ):
+                    continue
+            if uniform_window is not None:
+                if not probe.within_uniform_window(stored, uniform_window):
+                    continue
+            elif not probe.within_windows(stored, windows):
+                continue
+            results.append(probe.merge(stored))
+    return results, checked
 
 
 def probe_container(
@@ -115,49 +349,11 @@ def probe_container(
 ) -> List[StreamTuple]:
     """Find all join partners of ``probe`` in ``container``.
 
-    Uses the hash index of the first predicate, then filters the remaining
-    predicates, the strict arrived-before-trigger order, and the pairwise
-    window conditions.  Matches the local probe handling of Algorithm 3.
+    Single-tuple convenience wrapper over :func:`probe_batch` (kept for the
+    public API and tests; the runtime drives the batch path directly).
     """
-    if not predicates:
-        candidates: Iterable[StreamTuple] = container.tuples
-    else:
-        first = predicates[0]
-        probe_attr, stored_attr = _orient(first, probe)
-        index = container.index_on(stored_attr)
-        candidates = index.get(probe.get(probe_attr), [])
-
-    results: List[StreamTuple] = []
-    checked = 0
-    for stored in candidates:
-        checked += 1
-        if not stored.arrived_before(probe.trigger_ts):
-            continue
-        if not _satisfies(probe, stored, predicates):
-            continue
-        if not probe.within_windows(stored, windows):
-            continue
-        results.append(probe.merge(stored))
+    oriented = orient_predicates(predicates, probe.lineage)
+    results, checked = probe_batch(container, (probe,), oriented, windows)
     if count_comparisons is not None:
         count_comparisons(checked)
     return results
-
-
-def _orient(pred: JoinPredicate, probe: StreamTuple) -> Tuple[str, str]:
-    """Return (probe-side attr, stored-side attr) for a predicate."""
-    left_rel = pred.left.relation
-    if left_rel in probe.timestamps:
-        return str(pred.left), str(pred.right)
-    return str(pred.right), str(pred.left)
-
-
-def _satisfies(
-    probe: StreamTuple,
-    stored: StreamTuple,
-    predicates: Tuple[JoinPredicate, ...],
-) -> bool:
-    for pred in predicates:
-        probe_attr, stored_attr = _orient(pred, probe)
-        if probe.get(probe_attr) != stored.get(stored_attr):
-            return False
-    return True

@@ -7,19 +7,46 @@ A :class:`StreamTuple` is either a raw input tuple or a partial join result
 * ``timestamps`` — per contributing relation, the arrival timestamp τ,
 * ``trigger`` / ``trigger_ts`` — the input relation/timestamp that initiated
   the probe chain; join partners must all have arrived strictly before it.
+
+Hot-path notes: the engine touches every tuple many times (routing, probe
+candidate filtering, eviction ordering), so the timestamp extrema and the
+lineage set are computed once at construction instead of per access, and
+qualified attribute names are interned so the per-probe dict lookups hit
+CPython's pointer-equality fast path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from sys import intern
+from typing import Dict, FrozenSet, Mapping, Tuple
 
-__all__ = ["StreamTuple", "input_tuple"]
+__all__ = ["StreamTuple", "input_tuple", "intern_attr"]
+
+
+#: cache of interned qualified attribute names ("R.a" -> interned "R.a")
+_ATTR_CACHE: Dict[str, str] = {}
+
+
+def intern_attr(name: str) -> str:
+    """Intern a qualified attribute name (stable across the process)."""
+    cached = _ATTR_CACHE.get(name)
+    if cached is None:
+        cached = _ATTR_CACHE[name] = intern(name)
+    return cached
 
 
 class StreamTuple:
     """Immutable-by-convention tuple with lineage and timestamps."""
 
-    __slots__ = ("values", "timestamps", "trigger", "trigger_ts")
+    __slots__ = (
+        "values",
+        "timestamps",
+        "trigger",
+        "trigger_ts",
+        "latest_ts",
+        "earliest_ts",
+        "lineage",
+    )
 
     def __init__(
         self,
@@ -32,46 +59,52 @@ class StreamTuple:
         self.timestamps = timestamps
         self.trigger = trigger
         self.trigger_ts = trigger_ts
+        ts_values = timestamps.values()
+        self.latest_ts: float = max(ts_values)
+        self.earliest_ts: float = min(ts_values)
+        self.lineage: FrozenSet[str] = frozenset(timestamps)
 
     # ------------------------------------------------------------------
-    @property
-    def lineage(self) -> FrozenSet[str]:
-        return frozenset(self.timestamps)
-
     @property
     def width(self) -> int:
         """Number of contributing relations (tuple size proxy for memory)."""
         return len(self.timestamps)
 
-    @property
-    def latest_ts(self) -> float:
-        return max(self.timestamps.values())
-
-    @property
-    def earliest_ts(self) -> float:
-        return min(self.timestamps.values())
-
     def get(self, qualified_attr: str):
         return self.values.get(qualified_attr)
 
     def merge(self, other: "StreamTuple") -> "StreamTuple":
-        """Concatenate with a stored partner; keeps this tuple's trigger."""
-        if self.timestamps.keys() & other.timestamps.keys():
+        """Concatenate with a stored partner; keeps this tuple's trigger.
+
+        The timestamp extrema and lineage of the concatenation are derived
+        from the parents instead of re-scanned — merging is the single
+        hottest allocation site of the engine (one per join result).
+        """
+        if not self.lineage.isdisjoint(other.lineage):
             raise ValueError("cannot merge tuples with overlapping lineage")
+        merged = StreamTuple.__new__(StreamTuple)
         values = dict(self.values)
         values.update(other.values)
         timestamps = dict(self.timestamps)
         timestamps.update(other.timestamps)
-        return StreamTuple(
-            values=values,
-            timestamps=timestamps,
-            trigger=self.trigger,
-            trigger_ts=self.trigger_ts,
+        merged.values = values
+        merged.timestamps = timestamps
+        merged.trigger = self.trigger
+        merged.trigger_ts = self.trigger_ts
+        merged.latest_ts = (
+            self.latest_ts if self.latest_ts >= other.latest_ts else other.latest_ts
         )
+        merged.earliest_ts = (
+            self.earliest_ts
+            if self.earliest_ts <= other.earliest_ts
+            else other.earliest_ts
+        )
+        merged.lineage = self.lineage | other.lineage
+        return merged
 
     def arrived_before(self, other_trigger_ts: float) -> bool:
         """True if *all* components arrived strictly before the trigger."""
-        return all(ts < other_trigger_ts for ts in self.timestamps.values())
+        return self.latest_ts < other_trigger_ts
 
     def within_windows(
         self, other: "StreamTuple", windows: Mapping[str, float]
@@ -89,6 +122,17 @@ class StreamTuple:
                     return False
         return True
 
+    def within_uniform_window(self, other: "StreamTuple", window: float) -> bool:
+        """O(1) window check when every relation shares the same window.
+
+        Equivalent to :meth:`within_windows` with a constant window ``w``:
+        max over pairs |τi − τj| = max(latest_a − earliest_b,
+        latest_b − earliest_a).
+        """
+        if self.latest_ts - other.earliest_ts > window:
+            return False
+        return other.latest_ts - self.earliest_ts <= window
+
     def key(self) -> Tuple:
         """Canonical identity (used for result-set comparisons in tests)."""
         return (
@@ -105,7 +149,9 @@ def input_tuple(
     relation: str, tau: float, values: Mapping[str, object]
 ) -> StreamTuple:
     """Create a raw input tuple; ``values`` keys are unqualified attr names."""
-    qualified = {f"{relation}.{name}": value for name, value in values.items()}
+    qualified = {
+        intern_attr(f"{relation}.{name}"): value for name, value in values.items()
+    }
     return StreamTuple(
         values=qualified,
         timestamps={relation: tau},

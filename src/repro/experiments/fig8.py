@@ -77,12 +77,13 @@ def _run(
     parallelism: int,
     seed: int,
     profile_scale: float,
+    solver: str = "auto",
 ) -> Fig8Outcome:
     catalog = _catalog(rates, window)
     config = OptimizerConfig(
         cluster=ClusterConfig(default_parallelism=parallelism)
     )
-    controller = AdaptiveController(catalog, [LINEAR_QUERY], config, solver="auto")
+    controller = AdaptiveController(catalog, [LINEAR_QUERY], config, solver=solver)
     runtime = AdaptiveRuntime(
         controller,
         {name: window for name in rates},
@@ -136,6 +137,7 @@ def run_fig8a(
     memory_limit: float = 60_000.0,
     seed: int = 1,
     profile_scale: float = 8.0,
+    solver: str = "auto",
 ) -> Dict[str, Fig8Outcome]:
     """Selectivity flip: static dies of memory overflow, adaptive recovers.
 
@@ -166,11 +168,11 @@ def run_fig8a(
     return {
         "adaptive": _run(
             rates, value_gen, duration, window, epoch_length, True,
-            shift_at, memory_limit, parallelism, seed, profile_scale,
+            shift_at, memory_limit, parallelism, seed, profile_scale, solver,
         ),
         "static": _run(
             rates, value_gen, duration, window, epoch_length, False,
-            shift_at, memory_limit, parallelism, seed, profile_scale,
+            shift_at, memory_limit, parallelism, seed, profile_scale, solver,
         ),
     }
 
@@ -185,6 +187,7 @@ def run_fig8b(
     parallelism: int = 2,
     seed: int = 2,
     profile_scale: float = 8.0,
+    solver: str = "auto",
 ) -> Dict[str, Fig8Outcome]:
     """Rate skew: shrinking the S⋈T⋈U intermediate triggers an STU store.
 
@@ -209,10 +212,10 @@ def run_fig8b(
     return {
         "adaptive": _run(
             rates, value_gen, duration, window, epoch_length, True,
-            shift_at, None, parallelism, seed, profile_scale,
+            shift_at, None, parallelism, seed, profile_scale, solver,
         ),
         "static": _run(
             rates, value_gen, duration, window, epoch_length, False,
-            shift_at, None, parallelism, seed, profile_scale,
+            shift_at, None, parallelism, seed, profile_scale, solver,
         ),
     }

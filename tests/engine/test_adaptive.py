@@ -44,7 +44,9 @@ def shifted_workload(seed=7, n=800, shift_at=8.0, shrunk_domain=3):
     return streams, inputs
 
 
-def make_controller(parallelism=2, solver="own"):
+def make_controller(parallelism=2, solver="scipy"):
+    """The scipy/HiGHS backend keeps per-epoch re-optimization fast enough
+    for tier-1; solver equivalence itself is covered by the ILP suite."""
     q = Query.of("q", "R.a=S.a", "S.b=T.b", "T.c=U.c")
     cat = StatisticsCatalog(default_selectivity=0.02, default_window=5.0)
     for r in "RSTU":

@@ -1,0 +1,213 @@
+"""Differential correctness harness: engine vs. brute-force reference.
+
+Seeded, property-style workload generation: random multi-query workloads
+over a chain schema are generated with :mod:`repro.streams.generators`,
+optimized, compiled to a topology, and executed in logical mode; the
+produced result *sets* must be exactly equal to the brute-force
+:func:`repro.engine.reference.reference_join` — across window sizes,
+parallelism degrees, input batch sizes, and (for the adaptive runtime)
+epoch boundaries.
+
+This suite is the regression net for hot-path refactors (batched cascades,
+incremental eviction, orientation caching): any semantic drift shows up as
+a result-set difference on at least one of the seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ClusterConfig,
+    JoinPredicate,
+    OptimizerConfig,
+    Query,
+    StatisticsCatalog,
+    build_topology,
+)
+from repro.core.adaptive import AdaptiveController
+from repro.core.optimizer import MultiQueryOptimizer
+from repro.engine import (
+    AdaptiveRuntime,
+    RuntimeConfig,
+    TopologyRuntime,
+    reference_join,
+    result_keys,
+)
+from repro.streams.generators import StreamSpec, generate_streams, uniform_domain
+
+# Chain schema: R.a=S.a, S.b=T.b, T.c=U.c, U.d=V.d; each relation also
+# carries a second attribute so multi-predicate hops appear.
+RELATIONS = ["R", "S", "T", "U", "V"]
+ATTRS = {
+    "R": ["a"],
+    "S": ["a", "b"],
+    "T": ["b", "c"],
+    "U": ["c", "d"],
+    "V": ["d"],
+}
+CHAIN_PREDICATES = ["R.a=S.a", "S.b=T.b", "T.c=U.c", "U.d=V.d"]
+
+
+def random_queries(rng: random.Random) -> list:
+    """1-3 random contiguous chain segments of length 2-4 (named uniquely)."""
+    queries = []
+    seen = set()
+    for i in range(rng.randint(1, 3)):
+        length = rng.randint(1, 3)  # number of join predicates
+        start = rng.randrange(len(CHAIN_PREDICATES) - length + 1)
+        segment = tuple(CHAIN_PREDICATES[start : start + length])
+        if segment in seen:
+            continue
+        seen.add(segment)
+        queries.append(Query.of(f"q{i}", *segment))
+    return queries
+
+
+def random_workload(seed: int):
+    """Random queries, streams, windows, and parallelism for one seed."""
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    relations = sorted({r for q in queries for r in q.relations})
+
+    # Domain scales with the number of join hops so long chains do not
+    # explode combinatorially (each hop multiplies expected partners).
+    max_preds = max(len(q.predicates) for q in queries)
+    domain = rng.randint(3, 8) * max_preds
+    duration = 5.0
+    specs = [
+        StreamSpec(
+            relation=rel,
+            rate=rng.uniform(4.0, 9.0),
+            attributes={a: uniform_domain(domain) for a in ATTRS[rel]},
+        )
+        for rel in relations
+    ]
+    streams, inputs = generate_streams(specs, duration, seed=seed)
+
+    if rng.random() < 0.5:
+        windows = {rel: rng.choice([1.5, 3.0, 6.0]) for rel in relations}
+    else:  # uniform windows exercise the O(1) fast path
+        w = rng.choice([1.5, 3.0, 6.0])
+        windows = {rel: w for rel in relations}
+
+    parallelism = rng.randint(1, 3)
+    return queries, relations, streams, inputs, windows, parallelism
+
+
+def catalog_for(relations, windows, rng_seed: int) -> StatisticsCatalog:
+    rng = random.Random(rng_seed)
+    catalog = StatisticsCatalog(
+        default_selectivity=rng.choice([0.02, 0.1, 0.3]), default_window=8.0
+    )
+    for rel in relations:
+        catalog.with_rate(rel, 10.0).with_window(rel, windows[rel])
+    return catalog
+
+
+def assert_engine_equals_reference(runtime, queries, streams, windows):
+    for query in queries:
+        expected = result_keys(reference_join(query, streams, windows))
+        got = result_keys(runtime.results(query.name))
+        missing, invented = expected - got, got - expected
+        assert not missing, f"{query.name}: engine missed {len(missing)} results"
+        assert not invented, f"{query.name}: engine invented {len(invented)} results"
+
+
+class TestDifferentialLogical:
+    """Engine output == reference on >= 20 seeded random workloads."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_random_workload_exact(self, seed):
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed)
+        )
+        catalog = catalog_for(relations, windows, seed)
+        config = OptimizerConfig(
+            cluster=ClusterConfig(default_parallelism=parallelism)
+        )
+        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
+        result = optimizer.optimize(queries)
+        topology = build_topology(result.plan, catalog, config.cluster)
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("seed", [3, 11, 17])
+    @pytest.mark.parametrize("batch_size", [1, 2, 256])
+    def test_batch_size_invariant(self, seed, batch_size):
+        """Result sets must not depend on the micro-batch draining size."""
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed)
+        )
+        catalog = catalog_for(relations, windows, seed)
+        config = OptimizerConfig(
+            cluster=ClusterConfig(default_parallelism=parallelism)
+        )
+        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
+        result = optimizer.optimize(queries)
+        topology = build_topology(result.plan, catalog, config.cluster)
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(mode="logical", batch_size=batch_size),
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("evict_every", [1, 16])
+    def test_eviction_cadence_invariant(self, evict_every):
+        """Aggressive eviction must never drop in-window join partners."""
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(5)
+        )
+        catalog = catalog_for(relations, windows, 5)
+        config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=2))
+        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
+        result = optimizer.optimize(queries)
+        topology = build_topology(result.plan, catalog, config.cluster)
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(mode="logical", evict_every=evict_every),
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+
+class TestDifferentialAdaptive:
+    """Epoch boundaries and plan switches must preserve exactness."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 9])
+    def test_adaptive_logical_exact_across_epochs(self, seed):
+        rng = random.Random(seed ^ 0xA5A5)
+        query = Query.of("q", "R.a=S.a", "S.b=T.b")
+        relations = ["R", "S", "T"]
+        domain = rng.randint(2, 6)
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=12.0,
+                attributes={a: uniform_domain(domain) for a in ATTRS[rel]},
+            )
+            for rel in relations
+        ]
+        streams, inputs = generate_streams(specs, 8.0, seed=seed)
+        windows = {rel: 4.0 for rel in relations}
+        catalog = StatisticsCatalog(default_selectivity=0.05, default_window=4.0)
+        for rel in relations:
+            catalog.with_rate(rel, 12.0)
+        # a biased initial selectivity makes a mid-run plan switch likely
+        catalog.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.4)
+        config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=2))
+        controller = AdaptiveController(catalog, [query], config, solver="scipy")
+        runtime = AdaptiveRuntime(
+            controller,
+            windows,
+            RuntimeConfig(mode="logical"),
+            epoch_length=2.0,
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, [query], streams, windows)

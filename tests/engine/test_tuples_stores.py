@@ -88,6 +88,61 @@ class TestContainer:
         assert cont.evict_older_than(1.0) == 0
         assert cont.indexes["R.a"] is index_before  # untouched
 
+    def test_partial_eviction_never_rebuilds_indexes(self):
+        """The seed discarded *all* indexes whenever any tuple expired;
+        eviction must now update them in place (no full-scan rebuilds)."""
+        cont = Container(bucket_width=1.0)
+        for i in range(64):
+            cont.insert(input_tuple("R", float(i), {"a": i % 8}))
+        index = cont.index_on("R.a")
+        assert cont.index_rebuilds == 1  # the initial lazy build
+
+        for horizon in (8.0, 9.5, 31.0):
+            cont.evict_older_than(horizon)
+            # probing after eviction reuses the same index object...
+            assert cont.index_on("R.a") is index
+        # ...and no further full-scan build ever happened
+        assert cont.index_rebuilds == 1
+        assert len(cont) == 33  # tuples at 31.0 .. 63.0 survive
+        # index content is exact: only live tuples, grouped by value
+        live = {t.latest_ts for entries in index.values() for t in entries}
+        assert live == {float(i) for i in range(31, 64)}
+        assert index[0] == [t for t in cont.tuples if t.get("R.a") == 0]
+
+    def test_eviction_drops_whole_buckets_and_filters_boundary(self):
+        cont = Container(bucket_width=2.0)
+        for i in range(10):
+            cont.insert(input_tuple("R", float(i), {"a": i}))
+        freed = cont.evict_older_than(5.0)  # drops 0..4, keeps 5..9
+        assert freed == 5
+        assert sorted(t.latest_ts for t in cont.tuples) == [5.0, 6.0, 7.0, 8.0, 9.0]
+        # horizon inside a bucket: the boundary bucket (4,5) was filtered
+        assert cont.evict_older_than(5.0) == 0  # idempotent
+
+    def test_eviction_after_index_handles_shared_values(self):
+        cont = Container(bucket_width=1.0)
+        cont.insert(input_tuple("R", 0.5, {"a": 7}))
+        cont.insert(input_tuple("R", 5.5, {"a": 7}))
+        index = cont.index_on("R.a")
+        assert len(index[7]) == 2
+        cont.evict_older_than(3.0)
+        assert [t.latest_ts for t in index[7]] == [5.5]
+
+    def test_insert_after_eviction_lands_in_live_state(self):
+        """Regression: eviction must not leave stale bucket references."""
+        cont = Container(bucket_width=1.0)
+        for i in range(8):
+            cont.insert(input_tuple("R", float(i), {"a": i}))
+        cont.index_on("R.a")
+        cont.evict_older_than(6.5)
+        cont.insert(input_tuple("R", 6.9, {"a": 99}))
+        cont.insert(input_tuple("R", 8.0, {"a": 100}))
+        assert len(cont) == 3
+        assert {t.get("R.a") for t in cont.tuples} == {7, 99, 100}
+        assert cont.index_on("R.a")[99][0].latest_ts == 6.9
+        # a second eviction still sees the post-eviction inserts
+        assert cont.evict_older_than(7.5) == 2
+
 
 class TestStoreTask:
     def test_per_epoch_containers(self):

@@ -1,0 +1,187 @@
+"""Cross-validation of the ILP solver stack on random 0/1 models.
+
+Random small binary programs (feasible by construction) are solved by
+
+* the in-house branch-and-bound (exact),
+* the ``scipy.optimize.milp`` / HiGHS backend (exact; skipped if scipy is
+  unavailable),
+* the dense two-phase simplex on the LP relaxation (a lower bound for
+  minimization), and
+* — for randomly generated grouped selection problems, the structure the
+  MQO ILP actually has — the greedy heuristic, which must be feasible but
+  never better than the proven optimum.
+"""
+
+import random
+
+import pytest
+
+from repro.ilp.bnb import BranchAndBoundSolver
+from repro.ilp.greedy import GroupedCandidate, GroupedProblem, solve_greedy
+from repro.ilp.model import Model, Sense, SolveStatus, VarType
+from repro.ilp.simplex import solve_lp
+
+try:  # scipy is normally a hard dependency, but keep CI portable
+    from repro.ilp.scipy_backend import ScipyMilpSolver
+
+    HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only without scipy
+    HAVE_SCIPY = False
+
+TOL = 1e-6
+
+
+def random_binary_model(seed: int) -> Model:
+    """A feasible random 0/1 model: constraints are anchored to a random
+    feasible point so every instance has at least one solution."""
+    rng = random.Random(seed)
+    model = Model(name=f"rand{seed}")
+    n = rng.randint(3, 8)
+    variables = [model.add_var(f"x{i}", VarType.BINARY) for i in range(n)]
+    feasible_point = {v: float(rng.randint(0, 1)) for v in variables}
+
+    objective = sum(
+        (rng.uniform(-10.0, 10.0) * v for v in variables),
+        start=0.0 * variables[0],
+    )
+    model.set_objective(objective)
+
+    for _ in range(rng.randint(1, 6)):
+        support = rng.sample(variables, rng.randint(1, n))
+        expr = sum(
+            (rng.uniform(-5.0, 5.0) * v for v in support),
+            start=0.0 * support[0],
+        )
+        anchor = expr.value(feasible_point)
+        sense = rng.choice([Sense.LE, Sense.GE, Sense.EQ])
+        if sense is Sense.LE:
+            model.add_le(expr, anchor + rng.uniform(0.0, 3.0))
+        elif sense is Sense.GE:
+            model.add_ge(expr, anchor - rng.uniform(0.0, 3.0))
+        else:
+            model.add_eq(expr, anchor)
+    return model
+
+
+class TestRandomBinaryModels:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bnb_matches_scipy_optimum(self, seed):
+        if not HAVE_SCIPY:
+            pytest.skip("scipy unavailable")
+        model = random_binary_model(seed)
+        own = BranchAndBoundSolver().solve(model)
+        ref = ScipyMilpSolver().solve(model)
+        assert own.status is SolveStatus.OPTIMAL
+        assert ref.status is SolveStatus.OPTIMAL
+        assert own.objective == pytest.approx(ref.objective, abs=1e-5)
+        assert model.is_feasible(own.values)
+        assert model.is_feasible(ref.values)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_simplex_relaxation_lower_bounds_optimum(self, seed):
+        model = random_binary_model(seed)
+        own = BranchAndBoundSolver().solve(model)
+        c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_matrices()
+        relaxed = solve_lp(c, a_ub, b_ub, a_eq, b_eq, lb, ub)
+        assert relaxed.status == "optimal"
+        assert (
+            relaxed.objective + model.objective_constant
+            <= own.objective + TOL
+        )
+
+
+# ----------------------------------------------------------------------
+# grouped selection problems: greedy vs. exact solvers
+# ----------------------------------------------------------------------
+def random_grouped_problem(seed: int) -> GroupedProblem:
+    rng = random.Random(seed)
+    num_steps = rng.randint(4, 10)
+    step_costs = {f"s{i}": rng.uniform(0.5, 10.0) for i in range(num_steps)}
+    step_names = list(step_costs)
+
+    groups = {}
+    candidates = {}
+    num_groups = rng.randint(2, 4)
+    for g in range(num_groups):
+        group_key = f"g{g}"
+        names = []
+        for c in range(rng.randint(1, 3)):
+            name = f"g{g}c{c}"
+            steps = tuple(
+                rng.sample(step_names, rng.randint(1, min(3, num_steps)))
+            )
+            # occasional activation edges to *later* groups (acyclic, as in
+            # the MQO ILP where probing a MIR activates its maintenance)
+            activates = ()
+            if g + 1 < num_groups and rng.random() < 0.3:
+                activates = (f"g{g + 1}",)
+            candidates[name] = GroupedCandidate(
+                name=name, group=group_key, steps=steps, activates=activates
+            )
+            names.append(name)
+        groups[group_key] = names
+    mandatory = tuple(f"g{g}" for g in range(rng.randint(1, num_groups)))
+    problem = GroupedProblem(
+        step_costs=step_costs,
+        candidates=candidates,
+        groups=groups,
+        mandatory=mandatory,
+    )
+    problem.validate()
+    return problem
+
+
+def grouped_to_model(problem: GroupedProblem) -> Model:
+    """Exact 0/1 formulation of a grouped selection problem.
+
+    ``x`` selects candidates, ``y`` pays steps; activation makes a group
+    mandatory whenever any activating candidate is chosen.
+    """
+    model = Model(name="grouped")
+    x = {name: model.add_var(f"x_{name}") for name in problem.candidates}
+    y = {step: model.add_var(f"y_{step}") for step in problem.step_costs}
+
+    for name, cand in problem.candidates.items():
+        for step in cand.steps:
+            model.add_le(x[name] - y[step], 0.0)
+
+    for group in problem.mandatory:
+        members = [x[name] for name in problem.groups[group]]
+        model.add_ge(sum(members, start=0.0 * members[0]), 1.0)
+
+    for name, cand in problem.candidates.items():
+        for activated in cand.activates:
+            members = [x[m] for m in problem.groups[activated]]
+            model.add_ge(
+                sum(members, start=0.0 * members[0]) - x[name], 0.0
+            )
+
+    model.set_objective(
+        sum(
+            (cost * y[step] for step, cost in problem.step_costs.items()),
+            start=0.0 * next(iter(y.values())),
+        )
+    )
+    return model
+
+
+class TestGroupedProblems:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_greedy_never_better_than_bnb_optimum(self, seed):
+        problem = random_grouped_problem(seed)
+        greedy = solve_greedy(problem)
+        assert greedy is not None, "every generated instance is satisfiable"
+
+        model = grouped_to_model(problem)
+        exact = BranchAndBoundSolver().solve(model)
+        assert exact.status is SolveStatus.OPTIMAL
+        assert greedy.objective >= exact.objective - TOL
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_bnb_matches_scipy_on_grouped(self, seed):
+        if not HAVE_SCIPY:
+            pytest.skip("scipy unavailable")
+        model = grouped_to_model(random_grouped_problem(seed))
+        own = BranchAndBoundSolver().solve(model)
+        ref = ScipyMilpSolver().solve(model)
+        assert own.objective == pytest.approx(ref.objective, abs=1e-5)

@@ -103,13 +103,16 @@ class TestFig8Driver:
 
     The post-shift workload of 8a produces quadratically many intermediate
     results, so these tests use deliberately small rates/durations — they
-    assert the qualitative events, not the magnitudes.
+    assert the qualitative events, not the magnitudes.  Tier-1 runs the
+    scipy-backed variants (per-epoch re-optimization through HiGHS is ~100×
+    faster than the in-house branch-and-bound); the ``slow`` tier repeats
+    both scenarios with the default ``auto`` solver selection.
     """
 
     def test_fig8a_adaptive_recovers_static_fails(self):
         outcomes = run_fig8a(
             rate=20.0, duration=14.0, shift_at=7.0, window=3.0,
-            memory_limit=6_000.0, profile_scale=8.0, seed=3,
+            memory_limit=6_000.0, profile_scale=8.0, seed=3, solver="scipy",
         )
         static, adaptive = outcomes["static"], outcomes["adaptive"]
         assert adaptive.switches, "adaptive run must reconfigure"
@@ -119,6 +122,31 @@ class TestFig8Driver:
         )
 
     def test_fig8b_adaptive_lowers_latency(self):
+        outcomes = run_fig8b(
+            fast_rate=80.0, slow_rate=2.5, duration=14.0, shift_at=7.0,
+            window=3.0, profile_scale=8.0, seed=3, solver="scipy",
+        )
+        adaptive = outcomes["adaptive"]
+        assert adaptive.switches
+        assert (
+            adaptive.mean_latency_after
+            <= outcomes["static"].mean_latency_after + 1e-9
+        )
+
+    @pytest.mark.slow
+    def test_fig8a_with_auto_solver(self):
+        outcomes = run_fig8a(
+            rate=20.0, duration=14.0, shift_at=7.0, window=3.0,
+            memory_limit=6_000.0, profile_scale=8.0, seed=3,
+        )
+        static, adaptive = outcomes["static"], outcomes["adaptive"]
+        assert adaptive.switches
+        assert static.failed or (
+            static.mean_latency_after > adaptive.mean_latency_after
+        )
+
+    @pytest.mark.slow
+    def test_fig8b_with_auto_solver(self):
         outcomes = run_fig8b(
             fast_rate=80.0, slow_rate=2.5, duration=14.0, shift_at=7.0,
             window=3.0, profile_scale=8.0, seed=3,
