@@ -23,7 +23,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import random
+import sys
 import time
 from typing import Dict, List, Optional
 
@@ -251,6 +254,13 @@ def main() -> None:
         help="exit nonzero if the combined insert/probe/evict speedup "
         "falls below this factor (CI regression gate)",
     )
+    parser.add_argument(
+        "--json-out",
+        type=str,
+        default=None,
+        help="write per-scenario ops/s and speedups as JSON (CI uploads "
+        "this as a workflow artifact for trend tracking)",
+    )
     args = parser.parse_args()
     for name in ("tuples", "probes", "domain", "logical_inputs", "evict_every"):
         if getattr(args, name) <= 0:
@@ -308,6 +318,34 @@ def main() -> None:
     logical = bench_logical_runtime(args.logical_inputs, args.seed)
     print(f"\nlogical-mode end-to-end: {logical:,.0f} inputs/s "
           f"({args.logical_inputs} inputs, 3-way join, parallelism 2)")
+
+    if args.json_out is not None:
+        payload = {
+            "schema_version": 1,
+            "scenarios": {
+                name: {
+                    "naive_ops_per_s": naive,
+                    "current_ops_per_s": current,
+                    "speedup": current / naive,
+                }
+                for name, naive, current in rows
+            },
+            "logical_inputs_per_s": logical,
+            "params": {
+                name: getattr(args, name)
+                for name in (
+                    "tuples", "probes", "domain", "rate", "retention",
+                    "evict_every", "seed", "logical_inputs",
+                    "sliding_retention", "sliding_domain",
+                )
+            },
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
 
     if args.min_speedup is not None:
         _, naive, current = rows[-1]  # the combined insert/probe/evict row

@@ -71,7 +71,13 @@ class MultiQueryOptimizer:
     config:
         ILP construction knobs (MIRs, constraint form, partitioning layer).
     solver:
-        ``"own"``, ``"scipy"``, or ``"auto"`` (see :mod:`repro.ilp.solvers`).
+        ``"own"``, ``"scipy"``, ``"auto"`` (see :mod:`repro.ilp.solvers`),
+        or ``"greedy"`` — promote the grouped greedy heuristic's feasible
+        selection to the plan without an exact solve.  Greedy plans are
+        valid (every query answered, partitioning consistent) but not
+        cost-optimal; they are the fast path for shapes whose exact ILP
+        explodes (e.g. large cyclic queries, where candidate probe orders
+        over ring-arc MIRs run into thousands of binaries).
     use_greedy_warm_start:
         Seed branch-and-bound with the grouped greedy solution.
     """
@@ -101,19 +107,35 @@ class MultiQueryOptimizer:
         ilp = self.build(queries)
         t1 = time.perf_counter()
 
+        method = (
+            SolverMethod(self.solver)
+            if isinstance(self.solver, str)
+            else self.solver
+        )
         greedy = None
         warm_start = None
-        if self.use_greedy_warm_start:
+        if self.use_greedy_warm_start or method is SolverMethod.GREEDY:
             greedy = solve_greedy(ilp.grouped)
             if greedy is not None:
                 warm_start = ilp.warm_start_assignment(greedy)
 
-        solution = solve_model(
-            ilp.model,
-            method=self.solver,
-            warm_start=warm_start,
-            time_limit=self.solver_time_limit,
-        )
+        if method is SolverMethod.GREEDY:
+            if greedy is None or warm_start is None:
+                raise RuntimeError(
+                    "greedy heuristic found no feasible selection"
+                )
+            solution = Solution(
+                status=SolveStatus.FEASIBLE,
+                objective=ilp.model.objective.value(warm_start),
+                values=dict(warm_start),
+            )
+        else:
+            solution = solve_model(
+                ilp.model,
+                method=method,
+                warm_start=warm_start,
+                time_limit=self.solver_time_limit,
+            )
         t2 = time.perf_counter()
 
         if solution.status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):

@@ -9,6 +9,13 @@ sequences of available MIR stores covering the query are enumerated.  For
 MIR stores themselves, *maintenance* probe orders over the MIR's subquery
 are generated the same way (recursively, so large MIRs may be maintained
 via smaller ones).
+
+Cyclic join graphs need no special enumeration: a hop applies *every*
+query predicate connecting the accumulated prefix to the probed store
+(:meth:`ProbeOrder.hop_predicates`), so a cycle-closing predicate is
+simply picked up by whichever hop covers its second endpoint and executed
+there as a post-probe filter (the probe's hash index serves one predicate;
+the rest filter the candidates).
 """
 
 from __future__ import annotations
@@ -72,6 +79,23 @@ class ProbeOrder:
         for mir in self.stores[:num_stores]:
             covered |= mir.relations
         return frozenset(covered)
+
+    def hop_predicates(
+        self, query: Query
+    ) -> List[FrozenSet[JoinPredicate]]:
+        """Per probed store, the predicates applied at that hop.
+
+        Hop ``j`` applies every query predicate with one side in the
+        accumulated prefix and the other in the probed store — including
+        any cycle-closing predicate whose second endpoint this hop covers
+        (executed as a post-probe filter on the candidate set).
+        """
+        hops: List[FrozenSet[JoinPredicate]] = []
+        covered = set(self.start.relations)
+        for mir in self.sequence:
+            hops.append(query.predicates_between(covered, mir.relations))
+            covered |= mir.relations
+        return hops
 
     def __str__(self) -> str:
         inner = ", ".join(str(m) for m in self.stores)

@@ -5,6 +5,15 @@ registered relations (cross products are excluded, as in the paper).  The
 helper methods expose exactly the structure the optimizer needs: induced
 predicates on relation subsets, predicates connecting two groups, and
 per-relation window overrides.
+
+The join graph may be any connected shape.  Beyond the generic
+:meth:`Query.of`, the :meth:`Query.chain`, :meth:`Query.star`, and
+:meth:`Query.cycle` constructors build the canonical topologies of the
+paper's formulation (Section I.A poses no acyclicity restriction), and
+:meth:`Query.spanning_predicates` / :meth:`Query.cycle_closing_predicates`
+split the predicate set into a deterministic spanning tree and the
+remainder — the cycle-closing predicates the engine applies as post-probe
+filters once both endpoints are covered by a probe prefix.
 """
 
 from __future__ import annotations
@@ -89,12 +98,128 @@ class Query:
             windows=tuple(sorted((windows or {}).items())),
         )
 
+    @staticmethod
+    def chain(
+        name: str,
+        relations: Iterable[str],
+        attr: str = "a",
+        windows: Optional[Mapping[str, float]] = None,
+    ) -> "Query":
+        """Chain query: consecutive relations joined on ``attr<i>``.
+
+        ``chain("q", ["R", "S", "T"])`` builds ``R.a0=S.a0, S.a1=T.a1``.
+        """
+        rels = list(relations)
+        if len(set(rels)) != len(rels):
+            raise ValueError(f"chain query {name!r} repeats a relation")
+        if len(rels) < 2:
+            raise ValueError(f"chain query {name!r} needs at least two relations")
+        eqs = [
+            f"{rels[i]}.{attr}{i}={rels[i + 1]}.{attr}{i}"
+            for i in range(len(rels) - 1)
+        ]
+        return Query.of(name, *eqs, windows=windows)
+
+    @staticmethod
+    def star(
+        name: str,
+        hub: str,
+        spokes: Iterable[str],
+        attr: str = "s",
+        windows: Optional[Mapping[str, float]] = None,
+    ) -> "Query":
+        """Star query: every spoke joined to the hub on its own attribute.
+
+        ``star("q", "H", ["A", "B"])`` builds ``H.s0=A.s0, H.s1=B.s1`` —
+        spoke ``i`` shares attribute ``attr<i>`` with the hub, so spokes
+        stay independent of each other (the degenerate-bushy shape that
+        stresses probe-order choice; Joglekar & Ré's degree argument).
+        """
+        spoke_list = list(spokes)
+        if len(set(spoke_list)) != len(spoke_list) or hub in spoke_list:
+            raise ValueError(f"star query {name!r} repeats a relation")
+        if not spoke_list:
+            raise ValueError(f"star query {name!r} needs at least one spoke")
+        eqs = [
+            f"{hub}.{attr}{i}={spoke}.{attr}{i}"
+            for i, spoke in enumerate(spoke_list)
+        ]
+        return Query.of(name, *eqs, windows=windows)
+
+    @staticmethod
+    def cycle(
+        name: str,
+        relations: Iterable[str],
+        attr: str = "e",
+        windows: Optional[Mapping[str, float]] = None,
+    ) -> "Query":
+        """Cyclic query: a ring of relations with the closing predicate.
+
+        ``cycle("q", ["R", "S", "T"])`` builds ``R.e0=S.e0, S.e1=T.e1,
+        T.e2=R.e2`` — edge ``i`` joins ring neighbours on attribute
+        ``attr<i>``; the final edge closes the cycle.
+        """
+        ring = list(relations)
+        if len(set(ring)) != len(ring):
+            raise ValueError(f"cycle query {name!r} repeats a relation")
+        if len(ring) < 3:
+            raise ValueError(f"cycle query {name!r} needs at least three relations")
+        eqs = [
+            f"{ring[i]}.{attr}{i}={ring[(i + 1) % len(ring)]}.{attr}{i}"
+            for i in range(len(ring))
+        ]
+        return Query.of(name, *eqs, windows=windows)
+
     # ------------------------------------------------------------------
     # structure helpers
     # ------------------------------------------------------------------
     @property
     def relation_set(self) -> FrozenSet[str]:
         return frozenset(self.relations)
+
+    @property
+    def num_cycles(self) -> int:
+        """Cyclomatic number of the join graph (0 for trees/chains/stars).
+
+        Counts distinct relation *pairs* as edges: parallel predicates on
+        the same pair sharpen a join without creating a cycle.
+        """
+        pairs = {p.relations for p in self.predicates}
+        return len(pairs) - len(self.relations) + 1
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.num_cycles > 0
+
+    def spanning_predicates(self) -> FrozenSet[JoinPredicate]:
+        """A deterministic spanning tree of the join graph.
+
+        Predicates are visited in sorted order; each one connecting two
+        previously unconnected relations joins the tree.  The complement
+        (:meth:`cycle_closing_predicates`) holds the cycle-closing
+        predicates plus any parallel predicate on an already-joined pair —
+        exactly the set a probe hop can only apply as post-probe filters.
+        """
+        parent = {rel: rel for rel in self.relations}
+
+        def find(rel: str) -> str:
+            while parent[rel] != rel:
+                parent[rel] = parent[parent[rel]]
+                rel = parent[rel]
+            return rel
+
+        tree = set()
+        for pred in sorted(self.predicates):
+            root_a = find(pred.left.relation)
+            root_b = find(pred.right.relation)
+            if root_a != root_b:
+                parent[root_a] = root_b
+                tree.add(pred)
+        return frozenset(tree)
+
+    def cycle_closing_predicates(self) -> FrozenSet[JoinPredicate]:
+        """Predicates outside the deterministic spanning tree."""
+        return self.predicates - self.spanning_predicates()
 
     @property
     def size(self) -> int:

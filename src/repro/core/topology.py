@@ -222,11 +222,14 @@ class _TopologyBuilder:
         for target in node.deliveries:
             out_edges.append(self._wire_delivery(target))
 
+        # Execution order from the probe tree: spanning-tree predicates
+        # first (the leading one backs the store's hash index), cycle-closing
+        # predicates last, applied as post-probe filters.
         self._add_rule(
             store_id,
             label,
             ProbeRule(
-                predicates=tuple(sorted(node.predicates)),
+                predicates=node.ordered_predicates,
                 out_edges=tuple(out_edges),
                 outputs=tuple(node.outputs),
             ),

@@ -9,7 +9,7 @@
 from .epochs import AdaptiveRuntime, SwitchRecord
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
-from .reference import reference_join, result_keys
+from .reference import describe_result_diff, reference_join, result_keys
 from .routing import stable_hash, target_tasks
 from .runtime import MemoryOverflowError, RuntimeConfig, TopologyRuntime
 from .statistics import EpochStatistics
@@ -31,6 +31,7 @@ __all__ = [
     "StreamTuple",
     "SwitchRecord",
     "TopologyRuntime",
+    "describe_result_diff",
     "input_tuple",
     "intern_attr",
     "orient_predicates",

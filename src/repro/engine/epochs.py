@@ -59,6 +59,12 @@ class AdaptiveRuntime(TopologyRuntime):
         cluster: Optional[ClusterConfig] = None,
         adapt: bool = True,
     ) -> None:
+        if config is not None and config.disorder_bound is not None:
+            raise ValueError(
+                "AdaptiveRuntime requires timestamp-ordered inputs: epoch "
+                "boundaries and MIR backfill are driven by event time, so "
+                "out-of-order arrivals (disorder_bound) are not supported"
+            )
         self.controller = controller
         self.epoch_length = epoch_length
         self.cluster = cluster or controller.config.cluster

@@ -3,16 +3,40 @@
 Computes query results directly from recorded input streams with nested
 loops — no partitioning, no probe orders, no stores.  This is the oracle the
 engine's output is compared against in the integration and property tests.
+
+The semantics are defined purely on *event* timestamps: a result exists for
+every combination of tuples (one per query relation) that satisfies all
+predicates and all pairwise window constraints.  Arrival order never enters
+the definition, which makes the same oracle valid for both engine modes —
+timestamp-ordered feeds and bounded out-of-order feeds (watermark mode)
+must reproduce exactly this set.  One caveat on ordered mode: its strict
+``arrived_before`` rule makes partners with *equal* event timestamps
+invisible to each other, so exact oracle parity there assumes distinct
+timestamps (which the continuous-time generators guarantee); watermark
+mode decides visibility by arrival sequence and carries no such
+assumption.  The join graph may be any connected shape (chain, star,
+cycle, ...): predicates are looked up between the accumulated prefix and
+each extension relation, so cycle-closing predicates are applied as soon
+as both endpoints are covered.
+
+Comparison helper: :func:`describe_result_diff` renders differences in
+sorted order — raw set iteration order depends on string hash
+randomization, so printing un-sorted differences yields failure diffs
+that change across runs and Python versions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set, Tuple
+from typing import Iterable, List, Mapping, Set, Tuple
 
 from ..core.query import Query
 from .tuples import StreamTuple
 
-__all__ = ["reference_join", "result_keys"]
+__all__ = [
+    "reference_join",
+    "result_keys",
+    "describe_result_diff",
+]
 
 
 def reference_join(
@@ -25,7 +49,8 @@ def reference_join(
     Semantics mirror the engine: a result exists for each combination of
     tuples (one per relation) that satisfies every predicate and every
     pairwise window constraint; it is triggered by (and timestamped with)
-    the latest contributing tuple.
+    the latest contributing tuple.  Stream lists may be in any order —
+    only the event timestamps they carry matter.
     """
     relations = list(query.relations)
     results: List[StreamTuple] = []
@@ -50,10 +75,13 @@ def reference_join(
         extend(tup, rest)
 
     # Re-trigger each result by its latest component (the tuple whose
-    # arrival completes the join) for latency semantics parity.
+    # arrival completes the join) for latency semantics parity.  Timestamp
+    # ties are broken by relation name so the trigger is deterministic.
     normalized = []
     for res in results:
-        latest_rel = max(res.timestamps, key=lambda r: res.timestamps[r])
+        latest_rel = max(
+            sorted(res.timestamps), key=lambda r: res.timestamps[r]
+        )
         normalized.append(
             StreamTuple(
                 values=res.values,
@@ -79,3 +107,25 @@ def _match(partial: StreamTuple, candidate: StreamTuple, preds) -> bool:
 def result_keys(results: Iterable[StreamTuple]) -> Set[Tuple]:
     """Canonical result-set representation for comparisons."""
     return {r.key() for r in results}
+
+
+def describe_result_diff(
+    expected: Set[Tuple], got: Set[Tuple], limit: int = 3
+) -> str:
+    """Stable one-line diff between two canonical key sets.
+
+    Both difference sets are sorted before rendering, so the same mismatch
+    prints the same diff on every run, interpreter, and ``PYTHONHASHSEED``.
+    """
+    missing = sorted(expected - got)
+    invented = sorted(got - expected)
+    parts = []
+    if missing:
+        parts.append(
+            f"missing {len(missing)} (first: {missing[:limit]})"
+        )
+    if invented:
+        parts.append(
+            f"invented {len(invented)} (first: {invented[:limit]})"
+        )
+    return "; ".join(parts) if parts else "result sets equal"

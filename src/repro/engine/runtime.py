@@ -33,6 +33,29 @@ Hot-path design (see docs/engine.md):
   it is computed once per (rule, lineage) and cached.
 * When every relation shares one window length, the pairwise window check
   collapses to an O(1) comparison of precomputed timestamp extrema.
+
+Out-of-order arrivals (watermark mode, logical only): setting
+``RuntimeConfig.disorder_bound`` declares that event timestamps within each
+input stream lag its arrival order by at most that bound.  The runtime then
+
+* assigns every input a wall-clock arrival sequence number and decides
+  probe visibility by it (``seq_visibility`` in :func:`probe_batch`) —
+  a stored partner may carry a later event timestamp than the probing
+  tuple, as long as it *arrived* earlier,
+* tracks a per-stream high-water event timestamp; the global *watermark*
+  (min over ingest streams of high water − bound) replaces the current
+  event time as the eviction reference, so partners a late straggler still
+  needs are retained until the watermark passes them,
+* rejects inputs that violate the declared bound (late beyond watermark)
+  instead of silently dropping results.
+
+The brute-force reference is defined purely on event timestamps, so the
+differential harness proves both modes against the same oracle; with the
+distinct event timestamps the generators produce, watermark-mode result
+sets are bit-identical to the in-order run.  (Under exact timestamp ties
+the modes differ: ordered mode's strict ``arrived_before`` rule hides
+simultaneous partners from each other, while seq-based visibility — and
+the reference — joins them.)
 """
 
 from __future__ import annotations
@@ -74,12 +97,25 @@ class RuntimeConfig:
     #: logical mode: maximum number of consecutive same-relation inputs
     #: drained into one shared cascade (1 disables input batching)
     batch_size: int = 64
+    #: logical mode: tolerate out-of-order arrivals whose event timestamp
+    #: lags each stream's high water by at most this bound (watermark mode);
+    #: None requires timestamp-sorted inputs
+    disorder_bound: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("logical", "timed"):
             raise ValueError(f"unknown runtime mode {self.mode!r}")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.disorder_bound is not None:
+            if self.mode != "logical":
+                raise ValueError(
+                    "out-of-order arrivals (disorder_bound) require logical "
+                    "mode: the timed simulator orders its event heap by "
+                    "event timestamp"
+                )
+            if self.disorder_bound < 0:
+                raise ValueError("disorder_bound must be >= 0")
 
 
 class TopologyRuntime:
@@ -109,6 +145,10 @@ class TopologyRuntime:
         #: the rule reference keeps the key's id() stable
         self._oriented_cache: Dict[tuple, tuple] = {}
         self._uniform_window = self._compute_uniform_window()
+        #: watermark mode: seq-based probe visibility + per-stream high water
+        self._seq_visibility = self.config.disorder_bound is not None
+        self._arrival_seq = 0
+        self._stream_high: Dict[str, float] = {}
         self._install_stores(topology)
 
     # ------------------------------------------------------------------
@@ -158,7 +198,13 @@ class TopologyRuntime:
     # public API
     # ------------------------------------------------------------------
     def run(self, inputs: Iterable[StreamTuple]) -> EngineMetrics:
-        """Process input tuples (must be sorted by arrival timestamp)."""
+        """Process input tuples in arrival order.
+
+        Without ``disorder_bound`` the arrival order must coincide with the
+        event-timestamp order (sorted inputs); in watermark mode the feed
+        is consumed as the wall-clock arrival sequence and event timestamps
+        may stray behind each stream's high water by up to the bound.
+        """
         if self.config.mode == "logical":
             self._run_logical(inputs)
         else:
@@ -193,14 +239,34 @@ class TopologyRuntime:
         batch_size = self.config.batch_size if batchable else 1
         group: List[StreamTuple] = []
         group_rel: Optional[str] = None
+        bound = self.config.disorder_bound
+        stream_high = self._stream_high
 
         for tup in inputs:
             if self.metrics.failed:
                 break
             ts = tup.trigger_ts
-            if ts < last_ts:
-                raise ValueError("inputs must be sorted by timestamp")
-            last_ts = ts
+            if bound is None:
+                if ts < last_ts:
+                    raise ValueError("inputs must be sorted by timestamp")
+                last_ts = ts
+            else:
+                # Watermark mode: arrival order is the feed order.  Assign
+                # the arrival sequence (probe visibility) and advance the
+                # per-stream high water (eviction watermark); a straggler
+                # beyond the declared bound would silently lose results, so
+                # it is rejected loudly instead.
+                self._arrival_seq += 1
+                tup.seq = self._arrival_seq
+                high = stream_high.get(tup.trigger)
+                if high is None or ts > high:
+                    stream_high[tup.trigger] = ts
+                elif ts < high - bound:
+                    raise ValueError(
+                        f"tuple of {tup.trigger!r} at τ={ts:g} arrived "
+                        f"{high - ts:g} behind the stream high water "
+                        f"{high:g}, exceeding disorder_bound={bound:g}"
+                    )
             if batchable:
                 if group and (
                     tup.trigger != group_rel or len(group) >= batch_size
@@ -302,6 +368,7 @@ class TopologyRuntime:
                         oriented,
                         self.windows,
                         self._uniform_window,
+                        self._seq_visibility,
                     )
                     self.metrics.on_probe_batch(len(batch), checked)
                     if matches:
@@ -438,6 +505,7 @@ class TopologyRuntime:
                     oriented,
                     self.windows,
                     self._uniform_window,
+                    self._seq_visibility,
                 )
                 self.metrics.on_probe(checked)
                 self._last_probe_cost += checked
@@ -470,11 +538,40 @@ class TopologyRuntime:
         if self._ops_since_evict < self.config.evict_every:
             return
         self._ops_since_evict = 0
+        if self._seq_visibility:
+            # Watermark mode: the current input's event time may lie ahead
+            # of a straggler still to come; evict against the watermark,
+            # which every future arrival's timestamps are guaranteed to
+            # dominate.
+            now = self.watermark()
+            if now == float("-inf"):
+                return
         for tasks in self.tasks.values():
             for task in tasks:
                 freed = task.evict(now)
                 if freed:
                     self.metrics.on_evict(freed)
+
+    def watermark(self) -> float:
+        """Global low watermark: no future event timestamp can be below it.
+
+        Per stream, bounded disorder guarantees future arrivals at or above
+        ``high water − disorder_bound``; the global watermark is the minimum
+        over every ingest stream.  Streams that have not produced a tuple
+        yet pin it at ``-inf`` (nothing can be evicted safely).
+        """
+        bound = self.config.disorder_bound or 0.0
+        high = self._stream_high
+        mark = float("inf")
+        for relation in self.topology.ingest:
+            seen = high.get(relation)
+            if seen is None:
+                return float("-inf")
+            if seen < mark:
+                mark = seen
+        if mark == float("inf"):
+            return float("-inf")
+        return mark - bound
 
     def _check_memory(self) -> None:
         limit = self.config.memory_limit_units

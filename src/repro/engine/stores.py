@@ -237,7 +237,15 @@ class StoreTask:
         self.container(epoch).insert(tup)
 
     def evict(self, now: float) -> int:
-        """Window-based eviction across all epoch containers."""
+        """Window-based eviction across all epoch containers.
+
+        ``now`` is the eviction reference instant: the current event time
+        under ordered arrivals, or the runtime's global *watermark* under
+        bounded out-of-order arrivals.  In both cases every future probe
+        carries event timestamps ≥ ``now``, so tuples whose latest component
+        is older than ``now - retention`` can never pass another pairwise
+        window check and are safe to drop.
+        """
         if self.retention == float("inf"):
             return 0
         freed = 0
@@ -285,6 +293,7 @@ def probe_batch(
     oriented: Tuple[Tuple[str, str], ...],
     windows: Dict[str, float],
     uniform_window: Optional[float] = None,
+    seq_visibility: bool = False,
 ) -> Tuple[List[StreamTuple], int]:
     """Find join partners for a batch of same-lineage probe tuples.
 
@@ -292,6 +301,17 @@ def probe_batch(
     dispatch are amortized over the batch; returns ``(merged results in
     probe order, candidates checked)``.  Matches the local probe handling
     of Algorithm 3.
+
+    ``seq_visibility`` selects the arrival-visibility rule.  The default
+    (event-time) rule assumes timestamp order doubles as arrival order and
+    admits partners with ``latest_ts`` strictly before the probe's trigger.
+    Under bounded out-of-order arrival that assumption breaks — a stored
+    partner may carry a *later* event timestamp yet have arrived earlier —
+    so watermark mode decides visibility by the runtime-assigned arrival
+    sequence number instead: partners must have ``seq`` strictly below the
+    probe's.  Each result combination is still produced exactly once (by
+    the cascade of its last-arriving component); windows remain event-time
+    based in both modes.
     """
     results: List[StreamTuple] = []
     checked = 0
@@ -299,9 +319,13 @@ def probe_batch(
         candidates = container.tuples
         for probe in probes:
             trigger_ts = probe.trigger_ts
+            probe_seq = probe.seq
             for stored in candidates:
                 checked += 1
-                if stored.latest_ts >= trigger_ts:
+                if seq_visibility:
+                    if stored.seq >= probe_seq:
+                        continue
+                elif stored.latest_ts >= trigger_ts:
                     continue
                 if uniform_window is not None:
                     if not probe.within_uniform_window(stored, uniform_window):
@@ -319,10 +343,14 @@ def probe_batch(
         if not candidates:
             continue
         trigger_ts = probe.trigger_ts
+        probe_seq = probe.seq
         probe_values = probe.values
         for stored in candidates:
             checked += 1
-            if stored.latest_ts >= trigger_ts:
+            if seq_visibility:
+                if stored.seq >= probe_seq:
+                    continue
+            elif stored.latest_ts >= trigger_ts:
                 continue
             if rest:
                 stored_values = stored.values
@@ -346,14 +374,20 @@ def probe_container(
     predicates: Tuple[JoinPredicate, ...],
     windows: Dict[str, float],
     count_comparisons: Optional[Callable[[int], None]] = None,
+    seq_visibility: bool = False,
 ) -> List[StreamTuple]:
     """Find all join partners of ``probe`` in ``container``.
 
     Single-tuple convenience wrapper over :func:`probe_batch` (kept for the
     public API and tests; the runtime drives the batch path directly).
+    Pass ``seq_visibility=True`` when probing state built by a
+    watermark-mode runtime, so visibility follows arrival sequence numbers
+    the way the runtime's own probe path does.
     """
     oriented = orient_predicates(predicates, probe.lineage)
-    results, checked = probe_batch(container, (probe,), oriented, windows)
+    results, checked = probe_batch(
+        container, (probe,), oriented, windows, seq_visibility=seq_visibility
+    )
     if count_comparisons is not None:
         count_comparisons(checked)
     return results

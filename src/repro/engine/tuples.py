@@ -4,9 +4,14 @@ A :class:`StreamTuple` is either a raw input tuple or a partial join result
 (the concatenation ``r ◦ s ◦ t`` of the paper).  It carries:
 
 * ``values`` — qualified attribute name → value,
-* ``timestamps`` — per contributing relation, the arrival timestamp τ,
+* ``timestamps`` — per contributing relation, the event timestamp τ,
 * ``trigger`` / ``trigger_ts`` — the input relation/timestamp that initiated
-  the probe chain; join partners must all have arrived strictly before it.
+  the probe chain; join partners must all have arrived strictly before it,
+* ``seq`` — the wall-clock *arrival* sequence number assigned by the runtime
+  at ingest (0 until assigned).  With perfectly ordered arrivals the event
+  timestamp doubles as the arrival order, but under bounded out-of-order
+  arrival (watermark mode) the two diverge: probe visibility is then decided
+  by ``seq`` while windows and eviction stay event-time based.
 
 Hot-path notes: the engine touches every tuple many times (routing, probe
 candidate filtering, eviction ordering), so the timestamp extrema and the
@@ -46,6 +51,7 @@ class StreamTuple:
         "latest_ts",
         "earliest_ts",
         "lineage",
+        "seq",
     )
 
     def __init__(
@@ -63,6 +69,7 @@ class StreamTuple:
         self.latest_ts: float = max(ts_values)
         self.earliest_ts: float = min(ts_values)
         self.lineage: FrozenSet[str] = frozenset(timestamps)
+        self.seq: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +107,8 @@ class StreamTuple:
             else other.earliest_ts
         )
         merged.lineage = self.lineage | other.lineage
+        # last-arriving component: decides visibility under out-of-order mode
+        merged.seq = self.seq if self.seq >= other.seq else other.seq
         return merged
 
     def arrived_before(self, other_trigger_ts: float) -> bool:

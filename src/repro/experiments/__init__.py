@@ -3,12 +3,15 @@
 * :mod:`repro.experiments.fig7` — multi-query performance grid (7b/7c/7d)
 * :mod:`repro.experiments.fig8` — adaptive execution (8a/8b)
 * :mod:`repro.experiments.fig9` — ILP study (9a–9f)
+* :mod:`repro.experiments.shapes` — workload breadth beyond the paper:
+  chain/star/cycle shapes × uniform/Zipf/out-of-order arrival regimes
 """
 
 from .fig7 import Fig7Row, ratio_summary, run_fig7, workload_for
 from .fig8 import Fig8Outcome, LINEAR_QUERY, run_fig8a, run_fig8b
 from .fig9 import Fig9Point, run_point, sweep_num_queries, sweep_query_sizes
 from .reporting import format_series, format_table
+from .shapes import ShapeRow, run_shapes, shape_workload
 
 __all__ = [
     "Fig7Row",
@@ -22,6 +25,9 @@ __all__ = [
     "run_fig8a",
     "run_fig8b",
     "run_point",
+    "run_shapes",
+    "ShapeRow",
+    "shape_workload",
     "sweep_num_queries",
     "sweep_query_sizes",
     "workload_for",

@@ -26,6 +26,10 @@ class SolverMethod(enum.Enum):
     OWN = "own"
     SCIPY = "scipy"
     AUTO = "auto"
+    #: feasible-not-optimal: the grouped greedy heuristic promoted to a full
+    #: solution (resolved by MultiQueryOptimizer — it needs the grouped
+    #: problem, which a bare Model does not carry)
+    GREEDY = "greedy"
 
 
 def solve_model(
@@ -37,6 +41,12 @@ def solve_model(
     """Solve ``model`` to optimality with the selected backend."""
     if isinstance(method, str):
         method = SolverMethod(method)
+
+    if method is SolverMethod.GREEDY:
+        raise ValueError(
+            "the greedy heuristic operates on the grouped selection problem, "
+            "not a bare Model; use MultiQueryOptimizer(..., solver='greedy')"
+        )
 
     if method is SolverMethod.AUTO:
         small = (

@@ -3,11 +3,13 @@ Section VII.A, and the random ILP workloads of Section VII.C."""
 
 from .generators import (
     StreamSpec,
+    bounded_delay_feed,
     generate_streams,
     merge_streams,
     partnered_streams,
     shifting_domain,
     uniform_domain,
+    zipf_domain,
 )
 from .tpch import (
     TPCH_RELATIONS,
@@ -22,6 +24,7 @@ __all__ = [
     "IlpEnvironment",
     "StreamSpec",
     "TPCH_RELATIONS",
+    "bounded_delay_feed",
     "five_query_workload",
     "generate_streams",
     "make_environment",
@@ -33,4 +36,5 @@ __all__ = [
     "tpch_catalog",
     "tpch_specs",
     "uniform_domain",
+    "zipf_domain",
 ]

@@ -6,12 +6,18 @@ Provides the building blocks for the paper's experiments:
   configurable per-attribute value domains,
 * :func:`partnered_streams` — the Figure 8 workload: "join attributes set
   such that each tuple will be part of one join result", with a mid-run
-  characteristics shift injected by a time-dependent domain function.
+  characteristics shift injected by a time-dependent domain function,
+* :func:`zipf_domain` — skewed value draws (heavy hitters collapse naive
+  plans; Hu & Qiu 2024, Joglekar & Ré 2015),
+* :func:`bounded_delay_feed` — an out-of-order arrival feed with bounded
+  per-tuple delay, the watermark-mode workload (event timestamps are left
+  untouched, only the consumption order is perturbed).
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -19,9 +25,11 @@ from ..engine.tuples import StreamTuple, input_tuple
 
 __all__ = [
     "StreamSpec",
+    "bounded_delay_feed",
     "generate_streams",
     "merge_streams",
     "partnered_streams",
+    "zipf_domain",
 ]
 
 #: value generator: (rng, time) -> value
@@ -53,6 +61,60 @@ def shifting_domain(size_fn: Callable[[float], int]) -> ValueGen:
         return rng.randrange(max(1, size_fn(now)))
 
     return gen
+
+
+def zipf_domain(size: int, alpha: float = 1.2) -> ValueGen:
+    """Zipf-skewed values from ``0..size-1``: value k has weight 1/(k+1)^α.
+
+    Skew concentrates probability mass on a few heavy hitters, so some
+    index buckets hold most of the stored tuples — the regime where probe
+    cost diverges from the uniform-selectivity estimate and naive plans
+    collapse.  ``alpha=0`` degenerates to the uniform domain; sampling is
+    inverse-CDF over the finite domain, deterministic given the rng.
+    """
+    if size < 1:
+        raise ValueError("zipf_domain needs size >= 1")
+    if alpha < 0:
+        raise ValueError("zipf_domain needs alpha >= 0")
+    weights = [1.0 / (k + 1) ** alpha for k in range(size)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+
+    def gen(rng: random.Random, _now: float) -> int:
+        return bisect_left(cdf, rng.random())
+
+    return gen
+
+
+def bounded_delay_feed(
+    streams: Mapping[str, List[StreamTuple]],
+    max_delay: float,
+    seed: int = 0,
+) -> List[StreamTuple]:
+    """Arrival-ordered feed with bounded per-tuple network/queueing delay.
+
+    Each tuple arrives ``event_ts + U(0, max_delay)`` (deterministic given
+    the seed); the returned list is sorted by that arrival instant, so a
+    tuple can overtake neighbours whose event timestamps are up to
+    ``max_delay`` newer.  Event timestamps are *not* modified — within
+    every stream the disorder is bounded by ``max_delay``, which is the
+    contract of ``RuntimeConfig.disorder_bound`` (watermark mode).  With
+    ``max_delay=0`` this degenerates to :func:`merge_streams`.
+    """
+    if max_delay < 0:
+        raise ValueError("max_delay must be >= 0")
+    rng = random.Random(seed)
+    arrivals = []
+    # deterministic stream visitation order regardless of dict construction
+    for relation in sorted(streams):
+        for tup in streams[relation]:
+            arrivals.append((tup.trigger_ts + rng.random() * max_delay, tup))
+    arrivals.sort(key=lambda pair: pair[0])
+    return [tup for _, tup in arrivals]
 
 
 def generate_streams(

@@ -72,6 +72,7 @@ def random_queries(
     seed: int = 0,
     attribute_matching: str = "same_index",
     duplicates: str = "redraw",
+    shape: str = "tree",
 ) -> List[Query]:
     """Draw ``num_queries`` distinct random queries of ``query_size`` relations.
 
@@ -91,11 +92,21 @@ def random_queries(
     back as the pool saturates (the reason Fig. 9b's problem sizes grow
     sublinearly).  ``"redraw"`` keeps drawing until ``num_queries``
     *distinct* queries exist.
+
+    ``shape`` selects the join-graph topology: ``"tree"`` (the paper's
+    construction — each new relation joins a *random* earlier one),
+    ``"star"`` (every new relation joins the first — hub-and-spokes),
+    ``"cycle"`` (new relations chain off the previous one and a closing
+    predicate joins the last back to the first; needs ``query_size >= 3``).
     """
     if attribute_matching not in ("same_index", "random"):
         raise ValueError(f"unknown attribute_matching {attribute_matching!r}")
     if duplicates not in ("drop", "redraw"):
         raise ValueError(f"unknown duplicates mode {duplicates!r}")
+    if shape not in ("tree", "star", "cycle"):
+        raise ValueError(f"unknown query shape {shape!r}")
+    if shape == "cycle" and query_size < 3:
+        raise ValueError("cycle-shaped queries need query_size >= 3")
     rng = random.Random(seed)
     names = env.relation_names
     queries: List[Query] = []
@@ -103,6 +114,13 @@ def random_queries(
     attempts = 0
     max_attempts = num_queries * 200
     draws = 0
+
+    def draw_attrs() -> Tuple[int, int]:
+        attr_new = rng.randrange(env.num_attributes)
+        if attribute_matching == "same_index":
+            return attr_new, attr_new
+        return rng.randrange(env.num_attributes), attr_new
+
     while len(queries) < num_queries:
         attempts += 1
         if duplicates == "drop" and draws >= num_queries:
@@ -118,14 +136,20 @@ def random_queries(
             new = rng.choice(names)
             if new in chosen:
                 continue
-            partner = rng.choice(chosen)
-            attr_new = rng.randrange(env.num_attributes)
-            if attribute_matching == "same_index":
-                attr_old = attr_new
+            if shape == "star":
+                partner = chosen[0]
+            elif shape == "cycle":
+                partner = chosen[-1]
             else:
-                attr_old = rng.randrange(env.num_attributes)
+                partner = rng.choice(chosen)
+            attr_old, attr_new = draw_attrs()
             equalities.append(f"{partner}.a{attr_old}={new}.a{attr_new}")
             chosen.append(new)
+        if shape == "cycle":
+            attr_old, attr_new = draw_attrs()
+            equalities.append(
+                f"{chosen[-1]}.a{attr_old}={chosen[0]}.a{attr_new}"
+            )
         query = Query.of(f"q{len(queries)}", *equalities)
         draws += 1
         signature = (

@@ -70,6 +70,75 @@ class TestQueryStructure:
         assert not linear_query.is_subquery_connected([])
 
 
+class TestQueryShapes:
+    def test_chain_constructor(self):
+        q = Query.chain("q", ["R", "S", "T"])
+        assert q.predicates == frozenset(
+            {JoinPredicate.of("R.a0", "S.a0"), JoinPredicate.of("S.a1", "T.a1")}
+        )
+        assert not q.is_cyclic and q.num_cycles == 0
+
+    def test_star_constructor(self):
+        q = Query.star("q", "H", ["A", "B", "C"])
+        assert len(q.predicates) == 3
+        assert all(p.involves("H") for p in q.predicates)
+        assert not q.is_cyclic
+
+    def test_cycle_constructor_closes_ring(self):
+        q = Query.cycle("q", ["R", "S", "T", "U"])
+        assert len(q.predicates) == 4
+        assert q.is_cyclic and q.num_cycles == 1
+        # every relation has exactly two ring neighbours
+        for rel in q.relations:
+            assert len(q.neighbors({rel})) == 2
+
+    def test_shape_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Query.chain("q", ["R"])
+        with pytest.raises(ValueError):
+            Query.star("q", "H", [])
+        with pytest.raises(ValueError):
+            Query.cycle("q", ["R", "S"])
+
+    def test_shape_constructors_reject_repeated_relations(self):
+        """A repeated relation would silently collapse the shape (e.g. a
+        'cycle' that is actually two relations with parallel predicates)."""
+        with pytest.raises(ValueError, match="repeats"):
+            Query.cycle("q", ["R", "S", "R", "S"])
+        with pytest.raises(ValueError, match="repeats"):
+            Query.chain("q", ["R", "S", "R"])
+        with pytest.raises(ValueError, match="repeats"):
+            Query.star("q", "H", ["A", "A"])
+        with pytest.raises(ValueError, match="repeats"):
+            Query.star("q", "H", ["A", "H"])
+
+    def test_parallel_predicates_are_not_a_cycle(self):
+        q = Query.of("q", "R.a=S.a", "R.b=S.b")
+        assert q.num_cycles == 0 and not q.is_cyclic
+
+    def test_spanning_plus_closing_partition_the_predicates(self):
+        q = Query.cycle("q", ["R", "S", "T", "U"])
+        spanning = q.spanning_predicates()
+        closing = q.cycle_closing_predicates()
+        assert spanning | closing == q.predicates
+        assert not spanning & closing
+        assert len(spanning) == len(q.relations) - 1
+        assert len(closing) == q.num_cycles == 1
+        # deterministic across calls
+        assert q.spanning_predicates() == spanning
+
+    def test_spanning_tree_of_acyclic_query_is_everything(self):
+        q = Query.chain("q", ["R", "S", "T"])
+        assert q.spanning_predicates() == q.predicates
+        assert q.cycle_closing_predicates() == frozenset()
+
+    def test_parallel_predicate_lands_in_closing_set(self):
+        q = Query.of("q", "R.a=S.a", "R.b=S.b")
+        assert q.cycle_closing_predicates() == frozenset(
+            {JoinPredicate.of("R.b", "S.b")}
+        )
+
+
 class TestCatalog:
     def test_rate_registration_and_lookup(self):
         cat = StatisticsCatalog().with_rate("R", 100.0)

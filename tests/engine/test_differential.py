@@ -1,16 +1,31 @@
 """Differential correctness harness: engine vs. brute-force reference.
 
 Seeded, property-style workload generation: random multi-query workloads
-over a chain schema are generated with :mod:`repro.streams.generators`,
-optimized, compiled to a topology, and executed in logical mode; the
-produced result *sets* must be exactly equal to the brute-force
-:func:`repro.engine.reference.reference_join` — across window sizes,
-parallelism degrees, input batch sizes, and (for the adaptive runtime)
-epoch boundaries.
+are generated with :mod:`repro.streams.generators`, optimized, compiled to
+a topology, and executed in logical mode; the produced result *sets* must
+be exactly equal to the brute-force
+:func:`repro.engine.reference.reference_join`.
+
+Covered axes (≥ 24 seeded workloads each):
+
+* **chain** — contiguous chain-segment multi-query workloads (the original
+  harness), across window sizes, parallelism degrees, batch sizes, and
+  eviction cadences,
+* **star** — hub-and-spokes queries sharing the hub relation,
+* **cycle** — ring queries whose closing predicate is applied as a
+  post-probe filter, plus arc subqueries sharing stores with the ring,
+* **zipf** — Zipf-skewed join attributes over all three shapes,
+* **ooo** — bounded out-of-order arrival feeds consumed in watermark mode
+  (``RuntimeConfig.disorder_bound``) over all three shapes,
+
+plus the cross-product invariances (shape × disorder × batch size ×
+eviction cadence), the unequal-window sharing matrix (the O(1)
+uniform-window shortcut must disengage), and the adaptive runtime's epoch
+boundaries.
 
 This suite is the regression net for hot-path refactors (batched cascades,
-incremental eviction, orientation caching): any semantic drift shows up as
-a result-set difference on at least one of the seeds.
+incremental eviction, orientation caching, seq-based visibility): any
+semantic drift shows up as a result-set difference on at least one seed.
 """
 
 import random
@@ -31,10 +46,17 @@ from repro.engine import (
     AdaptiveRuntime,
     RuntimeConfig,
     TopologyRuntime,
+    describe_result_diff,
     reference_join,
     result_keys,
 )
-from repro.streams.generators import StreamSpec, generate_streams, uniform_domain
+from repro.streams.generators import (
+    StreamSpec,
+    bounded_delay_feed,
+    generate_streams,
+    uniform_domain,
+    zipf_domain,
+)
 
 # Chain schema: R.a=S.a, S.b=T.b, T.c=U.c, U.d=V.d; each relation also
 # carries a second attribute so multi-predicate hops appear.
@@ -47,6 +69,9 @@ ATTRS = {
     "V": ["d"],
 }
 CHAIN_PREDICATES = ["R.a=S.a", "S.b=T.b", "T.c=U.c", "U.d=V.d"]
+
+#: star schema: hub H with one attribute per spoke; spoke Pi carries s<i>
+STAR_SPOKES = ["P0", "P1", "P2", "P3"]
 
 
 def random_queries(rng: random.Random) -> list:
@@ -64,26 +89,109 @@ def random_queries(rng: random.Random) -> list:
     return queries
 
 
-def random_workload(seed: int):
-    """Random queries, streams, windows, and parallelism for one seed."""
-    rng = random.Random(seed)
-    queries = random_queries(rng)
-    relations = sorted({r for q in queries for r in q.relations})
+def star_queries(rng: random.Random) -> tuple:
+    """1-2 star queries over random spoke subsets, sharing the hub relation.
 
-    # Domain scales with the number of join hops so long chains do not
-    # explode combinatorially (each hop multiplies expected partners).
-    max_preds = max(len(q.predicates) for q in queries)
-    domain = rng.randint(3, 8) * max_preds
-    duration = 5.0
+    Spoke ``Pi`` joins the hub on its fixed attribute ``s<i>``, so queries
+    over overlapping spoke subsets share input stores and MIRs.
+    """
+    attrs = {"H": []}
+    queries = []
+    seen = set()
+    for i in range(rng.randint(1, 2)):
+        k = rng.randint(2, 3)
+        spokes = tuple(sorted(rng.sample(range(len(STAR_SPOKES)), k)))
+        if spokes in seen:
+            continue
+        seen.add(spokes)
+        eqs = [f"H.s{j}=P{j}.s{j}" for j in spokes]
+        queries.append(Query.of(f"q{i}", *eqs))
+    for query in queries:
+        for rel in query.relations:
+            if rel == "H":
+                continue
+            j = rel[1:]
+            attrs.setdefault(rel, []).append(f"s{j}")
+            if f"s{j}" not in attrs["H"]:
+                attrs["H"].append(f"s{j}")
+    return queries, attrs
+
+
+def cycle_queries(rng: random.Random) -> tuple:
+    """A ring query (cycle-closing predicate) plus, sometimes, an arc chain.
+
+    Ring of length 3-5 over ``C0..C{L-1}``; edge ``i`` joins neighbours on
+    attribute ``e<i>``.  The arc subquery is the acyclic prefix of the same
+    ring, so it shares every input store (and candidate MIR) with the
+    cyclic query while exercising both planners side by side.
+    """
+    length = rng.randint(3, 5)
+    ring = [f"C{i}" for i in range(length)]
+    eqs = [
+        f"{ring[i]}.e{i}={ring[(i + 1) % length]}.e{i}" for i in range(length)
+    ]
+    queries = [Query.of("q_ring", *eqs)]
+    assert queries[0].is_cyclic
+    if rng.random() < 0.5 and length >= 4:
+        arc = rng.randint(2, length - 2)
+        queries.append(Query.of("q_arc", *eqs[:arc]))
+    attrs = {rel: [] for rel in ring}
+    for i in range(length):
+        attrs[ring[i]].append(f"e{i}")
+        attrs[ring[(i + 1) % length]].append(f"e{i}")
+    return queries, attrs
+
+
+def _make_streams(rng, queries, attrs, duration, domain_gen, seed):
+    relations = sorted({r for q in queries for r in q.relations})
     specs = [
         StreamSpec(
             relation=rel,
             rate=rng.uniform(4.0, 9.0),
-            attributes={a: uniform_domain(domain) for a in ATTRS[rel]},
+            attributes={a: domain_gen() for a in attrs[rel]},
         )
         for rel in relations
     ]
     streams, inputs = generate_streams(specs, duration, seed=seed)
+    return relations, streams, inputs
+
+
+#: fixed per-shape seed salts (str hash() varies with PYTHONHASHSEED)
+_SHAPE_SALT = {"chain": 0, "star": 0x51A2, "cycle": 0xC1C1}
+
+
+def random_workload(seed: int, shape: str = "chain", skew: bool = False):
+    """Random queries, streams, windows, and parallelism for one seed."""
+    rng = random.Random(seed ^ _SHAPE_SALT[shape])
+    if shape == "chain":
+        queries = random_queries(rng)
+        attrs = ATTRS
+        max_preds = max(len(q.predicates) for q in queries)
+        domain = rng.randint(3, 8) * max_preds
+        duration = 5.0
+    elif shape == "star":
+        queries, attrs = star_queries(rng)
+        domain = rng.randint(4, 8)
+        duration = 4.0
+    elif shape == "cycle":
+        queries, attrs = cycle_queries(rng)
+        domain = rng.randint(3, 6)
+        duration = 5.0
+    else:
+        raise ValueError(shape)
+
+    if skew:
+        # skewed domains concentrate matches on heavy hitters; widen the
+        # domain so multi-hop result counts stay testable
+        alpha = rng.uniform(0.6, 1.1)
+        domain = domain * 3
+        duration = min(duration, 4.0)
+        domain_gen = lambda: zipf_domain(domain, alpha)  # noqa: E731
+    else:
+        domain_gen = lambda: uniform_domain(domain)  # noqa: E731
+    relations, streams, inputs = _make_streams(
+        rng, queries, attrs, duration, domain_gen, seed
+    )
 
     if rng.random() < 0.5:
         windows = {rel: rng.choice([1.5, 3.0, 6.0]) for rel in relations}
@@ -105,30 +213,42 @@ def catalog_for(relations, windows, rng_seed: int) -> StatisticsCatalog:
     return catalog
 
 
+def compile_topology(queries, relations, windows, parallelism, seed, solver="scipy"):
+    """Optimize + compile one workload.
+
+    The chain axes keep the exact scipy/HiGHS solve (PR-1 behaviour); the
+    shape axes default to the greedy planner — a 5-ring's exact ILP runs
+    into thousands of binaries and minutes of MILP time, while any feasible
+    plan must produce identical result sets, which is what this harness
+    proves.
+    """
+    catalog = catalog_for(relations, windows, seed)
+    config = OptimizerConfig(
+        cluster=ClusterConfig(default_parallelism=parallelism)
+    )
+    optimizer = MultiQueryOptimizer(catalog, config, solver=solver)
+    result = optimizer.optimize(queries)
+    return build_topology(result.plan, catalog, config.cluster)
+
+
 def assert_engine_equals_reference(runtime, queries, streams, windows):
     for query in queries:
         expected = result_keys(reference_join(query, streams, windows))
         got = result_keys(runtime.results(query.name))
-        missing, invented = expected - got, got - expected
-        assert not missing, f"{query.name}: engine missed {len(missing)} results"
-        assert not invented, f"{query.name}: engine invented {len(invented)} results"
+        assert expected == got, (
+            f"{query.name}: {describe_result_diff(expected, got)}"
+        )
 
 
 class TestDifferentialLogical:
-    """Engine output == reference on >= 20 seeded random workloads."""
+    """Engine output == reference on >= 24 seeded random workloads."""
 
     @pytest.mark.parametrize("seed", range(24))
     def test_random_workload_exact(self, seed):
         queries, relations, streams, inputs, windows, parallelism = (
             random_workload(seed)
         )
-        catalog = catalog_for(relations, windows, seed)
-        config = OptimizerConfig(
-            cluster=ClusterConfig(default_parallelism=parallelism)
-        )
-        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
-        result = optimizer.optimize(queries)
-        topology = build_topology(result.plan, catalog, config.cluster)
+        topology = compile_topology(queries, relations, windows, parallelism, seed)
         runtime = TopologyRuntime(
             topology, windows, RuntimeConfig(mode="logical")
         )
@@ -142,13 +262,7 @@ class TestDifferentialLogical:
         queries, relations, streams, inputs, windows, parallelism = (
             random_workload(seed)
         )
-        catalog = catalog_for(relations, windows, seed)
-        config = OptimizerConfig(
-            cluster=ClusterConfig(default_parallelism=parallelism)
-        )
-        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
-        result = optimizer.optimize(queries)
-        topology = build_topology(result.plan, catalog, config.cluster)
+        topology = compile_topology(queries, relations, windows, parallelism, seed)
         runtime = TopologyRuntime(
             topology,
             windows,
@@ -163,16 +277,228 @@ class TestDifferentialLogical:
         queries, relations, streams, inputs, windows, parallelism = (
             random_workload(5)
         )
-        catalog = catalog_for(relations, windows, 5)
-        config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=2))
-        optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
-        result = optimizer.optimize(queries)
-        topology = build_topology(result.plan, catalog, config.cluster)
+        topology = compile_topology(queries, relations, windows, 2, 5)
         runtime = TopologyRuntime(
             topology,
             windows,
             RuntimeConfig(mode="logical", evict_every=evict_every),
         )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+
+class TestDifferentialShapes:
+    """Star and cyclic join graphs: engine == reference per seeded workload."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_star_workload_exact(self, seed):
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape="star")
+        )
+        topology = compile_topology(queries, relations, windows, parallelism, seed)
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_cycle_workload_exact(self, seed):
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape="cycle")
+        )
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver="greedy"
+        )
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    def test_cycle_closing_predicate_is_post_probe_filter(self):
+        """The compiled ProbeRule orders spanning-tree predicates first, so
+        a cyclic hop's hash index is backed by a tree edge and the closing
+        predicate filters candidates."""
+        query = Query.cycle("tri", ["R", "S", "T"])
+        windows = {rel: 3.0 for rel in query.relations}
+        topology = compile_topology(
+            [query], list(query.relations), windows, 1, 0
+        )
+        spanning = query.spanning_predicates()
+        multi_pred_rules = [
+            rule
+            for ruleset in topology.rulesets.values()
+            for rules in ruleset.values()
+            for rule in rules
+            if getattr(rule, "kind", "") == "probe" and len(rule.predicates) > 1
+        ]
+        assert multi_pred_rules, "a triangle plan must close the cycle somewhere"
+        for rule in multi_pred_rules:
+            assert rule.predicates[0] in spanning
+            assert query.cycle_closing_predicates() & set(rule.predicates[1:])
+
+
+class TestDifferentialSkew:
+    """Zipf-skewed value domains across all shapes: engine == reference."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_zipf_workload_exact(self, seed):
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape, skew=True)
+        )
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver="greedy"
+        )
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+
+class TestDifferentialOutOfOrder:
+    """Bounded out-of-order arrivals (watermark mode): engine == reference.
+
+    The feed is re-ordered by per-tuple bounded delays; the reference is
+    computed from the *event-time* streams — watermark mode must reproduce
+    exactly the in-order result set.
+    """
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_out_of_order_workload_exact(self, seed):
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        rng = random.Random(seed ^ 0x00F)
+        bound = rng.choice([0.5, 1.0, 2.5])
+        feed = bounded_delay_feed(streams, bound, seed=seed)
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver="greedy"
+        )
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(
+                mode="logical",
+                disorder_bound=bound,
+                evict_every=rng.choice([16, 256]),
+            ),
+        )
+        runtime.run(feed)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("seed", [1, 2])  # odd=cycle, even=star
+    @pytest.mark.parametrize("batch_size", [1, 256])
+    @pytest.mark.parametrize("evict_every", [1, 64])
+    def test_disorder_batch_eviction_invariant(
+        self, seed, batch_size, evict_every
+    ):
+        """Full cross product: shape x disorder x batch size x cadence."""
+        shape = ("star", "cycle")[seed % 2]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        feed = bounded_delay_feed(streams, 1.5, seed=seed)
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver="greedy"
+        )
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(
+                mode="logical",
+                disorder_bound=1.5,
+                batch_size=batch_size,
+                evict_every=evict_every,
+            ),
+        )
+        runtime.run(feed)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    def test_watermark_eviction_frees_state(self):
+        """Watermark-driven eviction must actually shed expired state (it
+        lags event-time eviction by the disorder bound, not forever)."""
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(2)
+        )
+        windows = {rel: 1.5 for rel in relations}
+        feed = bounded_delay_feed(streams, 0.5, seed=2)
+        topology = compile_topology(queries, relations, windows, 1, 2)
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(mode="logical", disorder_bound=0.5, evict_every=8),
+        )
+        runtime.run(feed)
+        assert runtime.metrics.stored_units < runtime.metrics.peak_stored_units
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+
+class TestDifferentialUnequalWindows:
+    """Multi-query workloads sharing relations under *unequal* windows.
+
+    The O(1) uniform-window shortcut must disengage (``_uniform_window is
+    None``) and the per-pair ``min(window)`` semantics must still match the
+    reference exactly.
+    """
+
+    @staticmethod
+    def _shared_relation_workload(seed: int):
+        rng = random.Random(seed ^ 0xBEEF)
+        # two or three chain segments guaranteed to overlap on S/T
+        segments = [
+            ("q0", CHAIN_PREDICATES[0:2]),  # R,S,T
+            ("q1", CHAIN_PREDICATES[1:3]),  # S,T,U
+        ]
+        if rng.random() < 0.5:
+            segments.append(("q2", CHAIN_PREDICATES[1:2]))  # S,T
+        queries = [Query.of(name, *preds) for name, preds in segments]
+        relations = sorted({r for q in queries for r in q.relations})
+        shared = set(queries[0].relations) & set(queries[1].relations)
+        assert shared, "workload must share relations across queries"
+        domain = rng.randint(4, 9)
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=rng.uniform(4.0, 8.0),
+                attributes={a: uniform_domain(domain) for a in ATTRS[rel]},
+            )
+            for rel in relations
+        ]
+        streams, inputs = generate_streams(specs, 5.0, seed=seed)
+        # strictly pairwise-distinct windows: the shortcut must disengage
+        choices = rng.sample([1.0, 1.5, 2.5, 4.0, 6.0], len(relations))
+        windows = dict(zip(relations, choices))
+        return queries, relations, streams, inputs, windows
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unequal_windows_disengage_fast_path(self, seed):
+        queries, relations, streams, inputs, windows = (
+            self._shared_relation_workload(seed)
+        )
+        topology = compile_topology(queries, relations, windows, 2, seed)
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        assert runtime._uniform_window is None
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    def test_equal_windows_engage_fast_path(self):
+        """Control: the same workload under one shared window length keeps
+        the O(1) check engaged and stays exact."""
+        queries, relations, streams, inputs, _ = (
+            self._shared_relation_workload(3)
+        )
+        windows = {rel: 3.0 for rel in relations}
+        topology = compile_topology(queries, relations, windows, 2, 3)
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical")
+        )
+        assert runtime._uniform_window == 3.0
         runtime.run(inputs)
         assert_engine_equals_reference(runtime, queries, streams, windows)
 

@@ -144,6 +144,92 @@ class TestContainer:
         assert cont.evict_older_than(7.5) == 2
 
 
+class TestEvictionBoundaries:
+    """Boundary conditions of the bucketed incremental-eviction fast path."""
+
+    def test_tuple_exactly_at_window_edge_survives(self):
+        """Eviction is strict: ``latest_ts == horizon`` stays (the window
+        check uses ``<=`` on the distance, so edge tuples still join)."""
+        cont = Container(bucket_width=1.0)
+        cont.insert(input_tuple("R", 5.0, {"a": 1}))
+        cont.insert(input_tuple("R", 4.999999, {"a": 2}))
+        freed = cont.evict_older_than(5.0)
+        assert freed == 1
+        assert [t.latest_ts for t in cont.tuples] == [5.0]
+
+    def test_tuple_exactly_at_bucket_boundary(self):
+        """latest_ts an exact multiple of the bucket width lands in the
+        higher bucket and is not dropped by a horizon at that boundary."""
+        cont = Container(bucket_width=2.0)
+        for ts in (1.9999, 2.0, 2.0001, 4.0):
+            cont.insert(input_tuple("R", ts, {"a": ts}))
+        index = cont.index_on("R.a")
+        freed = cont.evict_older_than(2.0)
+        assert freed == 1  # only 1.9999 is strictly older
+        assert sorted(t.latest_ts for t in cont.tuples) == [2.0, 2.0001, 4.0]
+        assert cont.index_rebuilds == 1
+        assert cont.index_on("R.a") is index
+
+    def test_zero_retention_store_collapses_to_single_bucket(self):
+        """retention <= 0 disables bucketing (no division blowup); eviction
+        at ``now`` then clears everything strictly older than ``now``."""
+        task = StoreTask(store_id="R", task_index=0, retention=0.0)
+        task.insert(0, input_tuple("R", 1.0, {"a": 1}))
+        task.insert(0, input_tuple("R", 3.0, {"a": 2}))
+        assert task.container(0)._bucket_width is None
+        freed = task.evict(now=3.0)
+        assert freed == 1  # the tuple exactly at now - 0 survives
+        assert task.stored_tuples() == 1
+
+    def test_near_zero_retention_buckets_stay_finite(self):
+        """A tiny window produces astronomically large bucket ids; eviction
+        must still drop exactly the expired tuples."""
+        task = StoreTask(store_id="R", task_index=0, retention=1e-9)
+        task.insert(0, input_tuple("R", 1.0, {"a": 1}))
+        task.insert(0, input_tuple("R", 2.0, {"a": 2}))
+        freed = task.evict(now=2.0)
+        assert freed == 1
+        assert [t.latest_ts for t in task.container(0).tuples] == [2.0]
+
+    def test_explicit_single_bucket_filters_whole_container(self):
+        """``bucket_width=None`` (or coerced 0/inf) keeps one bucket; an
+        eviction pass filters it but must never rebuild indexes."""
+        for width in (None, 0.0, float("inf")):
+            cont = Container(bucket_width=width)
+            for i in range(16):
+                cont.insert(input_tuple("R", float(i), {"a": i % 4}))
+            index = cont.index_on("R.a")
+            assert cont.index_rebuilds == 1
+            assert cont.evict_older_than(10.0) == 10
+            assert len(cont) == 6
+            assert cont.index_on("R.a") is index
+            assert cont.index_rebuilds == 1
+            live = sorted(t.latest_ts for es in index.values() for t in es)
+            assert live == [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+
+    def test_horizon_below_all_buckets_is_noop(self):
+        cont = Container(bucket_width=1.0)
+        cont.insert(input_tuple("R", 10.0, {"a": 1}))
+        cont.index_on("R.a")
+        assert cont.evict_older_than(-100.0) == 0
+        assert cont.evict_older_than(0.0) == 0
+        assert len(cont) == 1
+        assert cont.index_rebuilds == 1
+
+    def test_eviction_of_everything_resets_indexes_cheaply(self):
+        cont = Container(bucket_width=1.0)
+        for i in range(8):
+            cont.insert(input_tuple("R", float(i), {"a": i}))
+        cont.index_on("R.a")
+        freed = cont.evict_older_than(100.0)
+        assert freed == 8
+        assert len(cont) == 0
+        assert cont.index_on("R.a") == {}
+        # the empty-container reset counts as a (trivial) rebuild at most
+        cont.insert(input_tuple("R", 200.0, {"a": 5}))
+        assert cont.index_on("R.a")[5][0].latest_ts == 200.0
+
+
 class TestStoreTask:
     def test_per_epoch_containers(self):
         task = StoreTask(store_id="R", task_index=0, retention=10.0)

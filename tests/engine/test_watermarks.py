@@ -1,0 +1,190 @@
+"""Unit tests for the out-of-order arrival subsystem (watermark mode).
+
+The differential harness proves whole-run result equality; these tests pin
+the individual mechanisms: config validation, arrival-sequence visibility,
+per-stream watermark tracking, bound enforcement, and the late-straggler
+join that strict timestamp visibility would miss.
+"""
+
+import pytest
+
+from repro.core import (
+    ClusterConfig,
+    OptimizerConfig,
+    Query,
+    StatisticsCatalog,
+    build_topology,
+)
+from repro.core.adaptive import AdaptiveController
+from repro.core.optimizer import MultiQueryOptimizer
+from repro.engine import (
+    AdaptiveRuntime,
+    Container,
+    RuntimeConfig,
+    TopologyRuntime,
+    input_tuple,
+    orient_predicates,
+    probe_batch,
+)
+from repro.core.predicates import JoinPredicate
+
+
+def small_topology(parallelism: int = 1):
+    query = Query.of("q", "R.a=S.a")
+    windows = {"R": 4.0, "S": 4.0}
+    catalog = StatisticsCatalog(default_selectivity=0.1, default_window=4.0)
+    for rel in ("R", "S"):
+        catalog.with_rate(rel, 10.0).with_window(rel, windows[rel])
+    config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=parallelism))
+    optimizer = MultiQueryOptimizer(catalog, config, solver="scipy")
+    topology = build_topology(
+        optimizer.optimize([query]).plan, catalog, config.cluster
+    )
+    return query, topology, windows, catalog, config
+
+
+class TestConfigValidation:
+    def test_timed_mode_rejects_disorder(self):
+        with pytest.raises(ValueError, match="logical"):
+            RuntimeConfig(mode="timed", disorder_bound=1.0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            RuntimeConfig(disorder_bound=-0.5)
+
+    def test_zero_bound_allowed(self):
+        assert RuntimeConfig(disorder_bound=0.0).disorder_bound == 0.0
+
+    def test_adaptive_runtime_rejects_disorder(self):
+        query, topology, windows, catalog, config = small_topology()
+        controller = AdaptiveController(catalog, [query], config, solver="scipy")
+        with pytest.raises(ValueError, match="timestamp-ordered"):
+            AdaptiveRuntime(
+                controller,
+                windows,
+                RuntimeConfig(mode="logical", disorder_bound=1.0),
+            )
+
+
+class TestSeqVisibility:
+    def test_merge_propagates_max_seq(self):
+        r = input_tuple("R", 2.0, {"a": 1})
+        s = input_tuple("S", 5.0, {"a": 1})
+        r.seq, s.seq = 7, 3
+        assert r.merge(s).seq == 7
+        assert s.merge(r).seq == 7
+
+    def test_probe_batch_seq_mode_ignores_event_order(self):
+        """A stored partner with a *later* event timestamp but an earlier
+        arrival must match in seq mode and must not in timestamp mode."""
+        cont = Container()
+        stored = input_tuple("S", 9.0, {"a": 1})  # event-later...
+        stored.seq = 1  # ...but arrived first
+        cont.insert(stored)
+        probe = input_tuple("R", 2.0, {"a": 1})
+        probe.seq = 2
+        oriented = orient_predicates(
+            (JoinPredicate.of("R.a", "S.a"),), probe.lineage
+        )
+        ts_results, _ = probe_batch(cont, (probe,), oriented, {})
+        assert ts_results == []  # strict event-time visibility
+        seq_results, _ = probe_batch(
+            cont, (probe,), oriented, {}, seq_visibility=True
+        )
+        assert len(seq_results) == 1
+        assert seq_results[0].timestamps == {"R": 2.0, "S": 9.0}
+
+    def test_probe_container_forwards_seq_visibility(self):
+        from repro.engine import probe_container
+
+        cont = Container()
+        stored = input_tuple("S", 9.0, {"a": 1})
+        stored.seq = 1
+        cont.insert(stored)
+        probe = input_tuple("R", 2.0, {"a": 1})
+        probe.seq = 2
+        preds = (JoinPredicate.of("R.a", "S.a"),)
+        assert probe_container(cont, probe, preds, {}) == []
+        results = probe_container(cont, probe, preds, {}, seq_visibility=True)
+        assert len(results) == 1
+
+    def test_probe_batch_seq_mode_excludes_later_arrivals(self):
+        cont = Container()
+        stored = input_tuple("S", 1.0, {"a": 1})
+        stored.seq = 5
+        cont.insert(stored)
+        probe = input_tuple("R", 2.0, {"a": 1})
+        probe.seq = 4  # arrived before the stored tuple
+        oriented = orient_predicates(
+            (JoinPredicate.of("R.a", "S.a"),), probe.lineage
+        )
+        results, _ = probe_batch(
+            cont, (probe,), oriented, {}, seq_visibility=True
+        )
+        assert results == []
+
+
+class TestWatermarkRuntime:
+    def test_late_straggler_still_joins(self):
+        """R arrives *after* S despite an earlier event timestamp; the
+        result must still be produced (triggered by the late arrival)."""
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical", disorder_bound=2.0)
+        )
+        feed = [
+            input_tuple("S", 5.0, {"a": 1}),
+            input_tuple("R", 4.0, {"a": 1}),  # straggler, 1.0 late
+        ]
+        runtime.run(feed)
+        results = runtime.results("q")
+        assert len(results) == 1
+        assert results[0].timestamps == {"R": 4.0, "S": 5.0}
+
+    def test_in_order_mode_rejects_unsorted_feed(self):
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(topology, windows, RuntimeConfig(mode="logical"))
+        feed = [
+            input_tuple("S", 5.0, {"a": 1}),
+            input_tuple("R", 4.0, {"a": 1}),
+        ]
+        with pytest.raises(ValueError, match="sorted"):
+            runtime.run(feed)
+
+    def test_straggler_beyond_bound_rejected(self):
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical", disorder_bound=0.5)
+        )
+        feed = [
+            input_tuple("R", 5.0, {"a": 1}),
+            input_tuple("R", 4.0, {"a": 2}),  # 1.0 behind high water
+        ]
+        with pytest.raises(ValueError, match="disorder_bound"):
+            runtime.run(feed)
+
+    def test_watermark_is_min_over_streams_minus_bound(self):
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical", disorder_bound=1.0)
+        )
+        # nothing seen yet: nothing may be evicted
+        assert runtime.watermark() == float("-inf")
+        runtime.run([input_tuple("R", 5.0, {"a": 1})])
+        # S has produced nothing: its stragglers are unbounded
+        assert runtime.watermark() == float("-inf")
+        runtime.run([input_tuple("S", 3.0, {"a": 1})])
+        assert runtime.watermark() == 3.0 - 1.0
+
+    def test_watermark_mode_assigns_increasing_seqs(self):
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(mode="logical", disorder_bound=2.0)
+        )
+        feed = [
+            input_tuple("S", 5.0, {"a": 9}),
+            input_tuple("R", 4.0, {"a": 8}),
+            input_tuple("S", 4.5, {"a": 7}),
+        ]
+        runtime.run(feed)
+        assert [t.seq for t in feed] == [1, 2, 3]

@@ -5,10 +5,12 @@ import pytest
 from repro.core.predicates import JoinPredicate
 from repro.streams.generators import (
     StreamSpec,
+    bounded_delay_feed,
     generate_streams,
     merge_streams,
     partnered_streams,
     uniform_domain,
+    zipf_domain,
 )
 from repro.streams.tpch import (
     KEY_DOMAINS,
@@ -73,6 +75,77 @@ class TestGenerators:
         early = {t.get("S.b") for t in streams["S"] if t.trigger_ts < 10.0}
         late = {t.get("S.b") for t in streams["S"] if t.trigger_ts >= 10.0}
         assert len(late) < len(early)
+
+
+class TestSkewAndDisorder:
+    def test_zipf_domain_is_deterministic_and_in_range(self):
+        import random as _random
+
+        gen = zipf_domain(16, alpha=1.0)
+        a = [gen(_random.Random(1), 0.0) for _ in range(200)]
+        b = [gen(_random.Random(1), 0.0) for _ in range(200)]
+        assert a == b
+        assert all(0 <= v < 16 for v in a)
+
+    def test_zipf_domain_is_skewed(self):
+        import random as _random
+
+        gen = zipf_domain(32, alpha=1.2)
+        rng = _random.Random(7)
+        draws = [gen(rng, 0.0) for _ in range(4000)]
+        head = sum(1 for v in draws if v == 0) / len(draws)
+        tail = sum(1 for v in draws if v >= 16) / len(draws)
+        assert head > 0.15  # heavy hitter dominates...
+        assert tail < head  # ...and the tail is thin
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        import random as _random
+
+        gen = zipf_domain(8, alpha=0.0)
+        rng = _random.Random(3)
+        draws = [gen(rng, 0.0) for _ in range(8000)]
+        for v in range(8):
+            frequency = draws.count(v) / len(draws)
+            assert 0.09 < frequency < 0.16
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_domain(0)
+        with pytest.raises(ValueError):
+            zipf_domain(4, alpha=-1.0)
+
+    def test_bounded_delay_feed_is_permutation_within_bound(self):
+        specs = [
+            StreamSpec("R", 10.0, {"a": uniform_domain(5)}),
+            StreamSpec("S", 8.0, {"a": uniform_domain(5)}),
+        ]
+        streams, inputs = generate_streams(specs, 10.0, seed=2)
+        feed = bounded_delay_feed(streams, 1.5, seed=4)
+        assert sorted(id(t) for t in feed) == sorted(id(t) for t in inputs)
+        # within every stream the event-time disorder stays <= the bound
+        high = {}
+        for tup in feed:
+            seen = high.get(tup.trigger, float("-inf"))
+            assert tup.trigger_ts >= seen - 1.5
+            high[tup.trigger] = max(seen, tup.trigger_ts)
+        # and some genuine disorder actually occurred
+        timestamps = [t.trigger_ts for t in feed]
+        assert timestamps != sorted(timestamps)
+
+    def test_bounded_delay_feed_zero_delay_is_sorted(self):
+        specs = [StreamSpec("R", 12.0, {"a": uniform_domain(3)})]
+        streams, inputs = generate_streams(specs, 5.0, seed=0)
+        feed = bounded_delay_feed(streams, 0.0, seed=9)
+        assert [t.trigger_ts for t in feed] == [t.trigger_ts for t in inputs]
+
+    def test_bounded_delay_feed_validation_and_determinism(self):
+        specs = [StreamSpec("R", 10.0, {"a": uniform_domain(3)})]
+        streams, _ = generate_streams(specs, 5.0, seed=1)
+        with pytest.raises(ValueError):
+            bounded_delay_feed(streams, -1.0)
+        a = bounded_delay_feed(streams, 2.0, seed=5)
+        b = bounded_delay_feed(streams, 2.0, seed=5)
+        assert [t.trigger_ts for t in a] == [t.trigger_ts for t in b]
 
 
 class TestTpch:
@@ -164,3 +237,35 @@ class TestIlpWorkloads:
         env = make_environment(2, num_attributes=1)
         with pytest.raises(RuntimeError):
             random_queries(env, 50, query_size=2, seed=5)
+
+
+class TestShapedWorkloads:
+    def test_tree_default_is_acyclic(self):
+        env = make_environment(8)
+        for q in random_queries(env, 8, query_size=4, seed=11):
+            assert len(q.predicates) == 3
+            assert not q.is_cyclic
+
+    def test_star_shape_has_a_hub(self):
+        env = make_environment(8)
+        for q in random_queries(env, 8, query_size=4, seed=12, shape="star"):
+            assert not q.is_cyclic
+            hubs = [
+                rel
+                for rel in q.relations
+                if all(p.involves(rel) for p in q.predicates)
+            ]
+            assert hubs, f"star query {q} has no hub"
+
+    def test_cycle_shape_closes_the_ring(self):
+        env = make_environment(8)
+        for q in random_queries(env, 8, query_size=4, seed=13, shape="cycle"):
+            assert q.is_cyclic
+            assert len({p.relations for p in q.predicates}) == len(q.relations)
+
+    def test_shape_validation(self):
+        env = make_environment(6)
+        with pytest.raises(ValueError):
+            random_queries(env, 4, shape="mesh")
+        with pytest.raises(ValueError):
+            random_queries(env, 4, query_size=2, shape="cycle")

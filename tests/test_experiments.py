@@ -11,6 +11,7 @@ from repro.experiments.fig7 import ratio_summary, run_fig7, workload_for
 from repro.experiments.fig8 import run_fig8a, run_fig8b
 from repro.experiments.fig9 import run_point, sweep_num_queries
 from repro.experiments.reporting import format_series, format_table
+from repro.experiments.shapes import REGIMES, SHAPES, run_shapes, shape_query
 
 
 class TestReporting:
@@ -24,6 +25,56 @@ class TestReporting:
         text = format_series("s", [(1, 2.0), (2, 3.0)])
         assert text.startswith("s:")
         assert "1: 2" in text
+
+
+class TestShapesDriver:
+    def test_shape_queries_have_expected_topologies(self):
+        assert not shape_query("chain", 4).is_cyclic
+        assert not shape_query("star", 4).is_cyclic
+        assert shape_query("cycle", 4).is_cyclic
+        with pytest.raises(ValueError):
+            shape_query("mesh", 4)
+
+    def test_full_grid_runs_exactly_on_miniature_instance(self):
+        """All shape x regime cells execute, verify against the reference
+        (run_shapes raises on any divergence), and report sane metrics."""
+        rows = run_shapes(
+            num_relations=3,
+            rate=8.0,
+            duration=4.0,
+            domain=12,
+            disorder_bound=0.8,
+            parallelism=2,
+            seed=1,
+        )
+        assert len(rows) == len(SHAPES) * len(REGIMES)
+        assert {(r.shape, r.regime) for r in rows} == {
+            (s, g) for s in SHAPES for g in REGIMES
+        }
+        for row in rows:
+            assert row.exact
+            assert row.inputs > 0
+            assert row.probe_cost > 0
+            assert row.throughput > 0
+
+    def test_regimes_share_the_reference_oracle(self):
+        """Per shape, the uniform and out-of-order cells must report the
+        same result count: disorder only permutes consumption order."""
+        rows = run_shapes(
+            num_relations=3,
+            rate=8.0,
+            duration=4.0,
+            domain=10,
+            disorder_bound=1.0,
+            parallelism=1,
+            seed=2,
+            regimes=("uniform", "ooo"),
+        )
+        by_shape = {}
+        for row in rows:
+            by_shape.setdefault(row.shape, {})[row.regime] = row.results
+        for shape, counts in by_shape.items():
+            assert counts["uniform"] == counts["ooo"], shape
 
 
 class TestFig9Driver:
