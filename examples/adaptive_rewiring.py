@@ -10,11 +10,15 @@ stream whose join characteristics flip mid-run:
   epoch statistics, rewires the probe orders two epochs later, and latency
   recovers.
 
-Also demonstrates runtime query arrival/removal with store refcounting
-(Section VI.B).
+Also demonstrates runtime query arrival/removal (Section VI.B) through the
+:class:`repro.JoinSession` facade: a query is added and another removed
+*while tuples are flowing*, the shared plan is re-optimized from observed
+statistics, and surviving store state migrates across the rewire instead of
+being rebuilt.
 """
 
-from repro.core import Query
+import argparse
+
 from repro.experiments import run_fig8a, run_fig8b
 
 
@@ -34,41 +38,83 @@ def show(label, outcome) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: shorter runs, scipy-backed epoch re-optimization",
+    )
+    args = parser.parse_args()
+    # quick mode routes per-epoch re-optimization through scipy/HiGHS (the
+    # in-house solver is ~100x slower; equivalence is guarded separately by
+    # tests/ilp/test_cross_validation.py) and shortens the simulated runs
+    duration, shift_at = (12.0, 6.0) if args.quick else (24.0, 12.0)
+    solver = "scipy" if args.quick else "auto"
+
     print("=== Fig. 8a: selectivity flip (static dies, adaptive recovers) ===")
     outcomes = run_fig8a(
-        rate=40.0, duration=24.0, shift_at=12.0, memory_limit=30_000.0, seed=3
+        rate=40.0,
+        duration=duration,
+        shift_at=shift_at,
+        memory_limit=30_000.0,
+        seed=3,
+        solver=solver,
     )
     show("static plan", outcomes["static"])
     show("adaptive plan", outcomes["adaptive"])
 
     print("=== Fig. 8b: rate skew (adaptive introduces an intermediate store) ===")
     outcomes = run_fig8b(
-        fast_rate=150.0, slow_rate=3.0, duration=24.0, shift_at=12.0, seed=3
+        fast_rate=150.0,
+        slow_rate=3.0,
+        duration=duration,
+        shift_at=shift_at,
+        seed=3,
+        solver=solver,
     )
     show("static plan", outcomes["static"])
     show("adaptive plan", outcomes["adaptive"])
     if outcomes["adaptive"].mir_installed:
         print("the adaptive run materialized an intermediate (MIR) store\n")
 
-    print("=== query arrival / expiry with store refcounting (Sec VI.B) ===")
-    from repro.core import OptimizerConfig, StatisticsCatalog
-    from repro.core.adaptive import AdaptiveController
+    print("=== live query arrival / expiry over a JoinSession (Sec VI.B) ===")
+    from repro import JoinSession
+    from repro.streams import StreamSpec, generate_streams, replay, uniform_domain
 
-    catalog = StatisticsCatalog(default_selectivity=0.01, default_window=5.0)
-    for relation in "RSTU":
-        catalog.with_rate(relation, 50.0)
-    controller = AdaptiveController(
-        catalog, [Query.of("q1", "R.a=S.a", "S.b=T.b")], OptimizerConfig()
+    session = (
+        JoinSession(window=2.0, solver="scipy")
+        .add_query("q1", "R.a=S.a", "S.b=T.b")
+        .add_query("q2", "S.b=T.b", "T.c=U.c")
     )
-    controller.initial_topology()
-    print("initial store refcounts:", controller.refcounts())
-    controller.add_query(Query.of("q2", "S.b=T.b", "T.c=U.c"))
-    controller.decide(0, catalog)
-    print("after adding q2:       ", controller.refcounts())
-    controller.remove_query("q1")
-    controller.decide(1, catalog)
-    print("after removing q1:     ", controller.refcounts())
-    print("stores with refcount 0 are deregistered at the next switch.")
+    specs = [
+        StreamSpec("R", 15.0, {"a": uniform_domain(6)}),
+        StreamSpec("S", 15.0, {"a": uniform_domain(6), "b": uniform_domain(6)}),
+        StreamSpec("T", 15.0, {"b": uniform_domain(6), "c": uniform_domain(6)}),
+        StreamSpec("U", 15.0, {"c": uniform_domain(6)}),
+    ]
+    _, feed = generate_streams(specs, duration=8.0, seed=7)
+    replay(session, (t for t in feed if t.trigger_ts < 4.0))
+    print(f"after {session.pushed} tuples: {session.stored_tuples()} stored, "
+          f"{len(session.results('q1'))} q1 results")
+
+    # online: a third query joins the running session (shares the S-T join),
+    # then q1 expires — both rewires migrate the shared store state
+    session.add_query("q3", "S.b=T.b")
+    session.remove_query("q1")
+    replay(
+        session,
+        (
+            t
+            for t in feed
+            if t.trigger_ts >= 4.0 and t.trigger in session.relations
+        ),
+    )
+    for record in session.rewires:
+        print(f"rewire at τ={record.time:.2f}: +{list(record.added_stores)} "
+              f"-{list(record.removed_stores)}")
+    print(f"state preserved across rewires: "
+          f"{session.metrics.preserved_tuples} tuples (0 would mean a rebuild)")
+    print(session.verify(raise_on_mismatch=True).describe())
 
 
 if __name__ == "__main__":

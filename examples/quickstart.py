@@ -1,79 +1,54 @@
 #!/usr/bin/env python3
 """Quickstart: optimize two overlapping stream join queries and run them.
 
-Reproduces the paper's Section V.2 worked example end to end:
-
-1. register two 3-way queries sharing the S ⋈ T join,
-2. jointly optimize them with the ILP (probe orders + partitioning),
-3. translate the plan into a topology,
-4. push a synthetic stream through the simulated engine,
-5. verify the produced join results against a brute-force reference.
+Reproduces the paper's Section V.2 worked example end to end through the
+:class:`repro.JoinSession` facade — register two 3-way queries sharing the
+S ⋈ T join, declare the worked example's statistics, stream synthetic
+tuples through the jointly optimized shared plan, and verify against the
+brute-force reference.  The facade owns the catalog, optimizer, topology,
+and runtime; the pre-facade five-step wiring is shown in
+``docs/api.md`` (migration table) and still works unchanged.
 """
 
-from repro import (
-    MultiQueryOptimizer,
-    Query,
-    StatisticsCatalog,
-    TopologyRuntime,
-    build_topology,
-    reference_join,
-)
-from repro.core import ClusterConfig, JoinPredicate, OptimizerConfig
-from repro.engine import RuntimeConfig, result_keys
-from repro.streams import StreamSpec, generate_streams, uniform_domain
+from repro import JoinSession
+from repro.streams import StreamSpec, generate_into, uniform_domain
 
 
 def main() -> None:
-    # --- 1. queries ----------------------------------------------------
-    q1 = Query.of("q1", "R.a=S.a", "S.b=T.b")
-    q2 = Query.of("q2", "S.b=T.b", "T.c=U.c")
-
-    # --- 2. statistics & joint optimization ----------------------------
-    catalog = StatisticsCatalog(default_selectivity=0.01, default_window=10.0)
+    # 1+2. queries, declared statistics, joint optimization (lazy: planned
+    # at the first push; rates 100 and sel 0.015 are the paper's example)
+    session = (
+        JoinSession(window=10.0, solver="own", parallelism=1)
+        .with_selectivity("S.b=T.b", 0.015)
+        .add_query("q1", "R.a=S.a", "S.b=T.b")
+        .add_query("q2", "S.b=T.b", "T.c=U.c")
+    )
     for relation in "RSTU":
-        catalog.with_rate(relation, 100.0)
-    # the S-T join is a bit less selective (the paper's 150 vs 100 example)
-    catalog.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.015)
+        session.with_rate(relation, 100.0)
 
-    config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=1))
-    optimizer = MultiQueryOptimizer(catalog, config, solver="own")
-
-    individual = optimizer.optimize_individual([q1, q2])
-    result = optimizer.optimize([q1, q2])
-
-    print("=== optimization ===")
-    print(f"individually optimal total probe cost: {individual.total_cost:g}")
-    print(f"jointly optimized probe cost:          {result.plan.objective:g}")
-    print(result.plan.describe())
-
-    # --- 3. topology ----------------------------------------------------
-    topology = build_topology(result.plan, catalog, config.cluster)
-    print("\n=== topology ===")
-    print(topology.describe())
-
-    # --- 4. run a stream ------------------------------------------------
+    # 3+4. live push-based ingestion (topology built on the first tuple)
     specs = [
         StreamSpec("R", 20.0, {"a": uniform_domain(8)}),
         StreamSpec("S", 20.0, {"a": uniform_domain(8), "b": uniform_domain(8)}),
         StreamSpec("T", 20.0, {"b": uniform_domain(8), "c": uniform_domain(8)}),
         StreamSpec("U", 20.0, {"c": uniform_domain(8)}),
     ]
-    streams, inputs = generate_streams(specs, duration=10.0, seed=42)
-    windows = {relation: 10.0 for relation in "RSTU"}
-    runtime = TopologyRuntime(topology, windows, RuntimeConfig(mode="logical"))
-    runtime.run(inputs)
+    generate_into(session, specs, duration=10.0, seed=42)
+    session.flush()  # complete the last deferred micro-batch before reading
 
+    print("=== session ===")
+    print(session.describe())
     print("\n=== execution ===")
-    print(f"input tuples:      {runtime.metrics.inputs_ingested}")
-    print(f"tuples sent:       {runtime.metrics.tuples_sent} (probe cost)")
-    print(f"results q1 / q2:   {len(runtime.results('q1'))} / {len(runtime.results('q2'))}")
+    print(f"input tuples:      {session.metrics.inputs_ingested}")
+    print(f"tuples sent:       {session.metrics.tuples_sent} (probe cost)")
+    print(
+        f"results q1 / q2:   "
+        f"{len(session.results('q1'))} / {len(session.results('q2'))}"
+    )
 
-    # --- 5. verify -------------------------------------------------------
-    for query in (q1, q2):
-        expected = result_keys(reference_join(query, streams, windows))
-        produced = result_keys(runtime.results(query.name))
-        status = "OK" if expected == produced else "MISMATCH"
-        print(f"verification {query.name}: {status} ({len(expected)} results)")
+    # 5. verify against the brute-force reference (wired automatically)
+    print("\n=== verification ===")
+    print(session.verify(raise_on_mismatch=True).describe())
 
 
 if __name__ == "__main__":

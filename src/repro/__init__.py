@@ -1,7 +1,24 @@
 """repro — reproduction of *Optimizing Multiple Multi-Way Stream Joins*
 (Dossinger & Michel, ICDE 2021) as a pure-Python library.
 
-The package re-implements the paper's full stack:
+The documented public surface is the session facade (see ``docs/api.md``)::
+
+    from repro import JoinSession
+
+    session = (
+        JoinSession(window=10.0, solver="auto")
+        .add_query("q1", "R.a=S.a", "S.b=T.b")
+        .add_query("q2", "S.b=T.b", "T.c=U.c")
+    )
+    session.push("R", {"a": 3}, ts=0.25)
+    session.push("S", {"a": 3, "b": 7}, ts=0.5)
+    ...
+    session.add_query("q3", "T.c=U.c", "U.d=V.d")   # online, mid-stream
+    session.remove_query("q1")
+    assert session.verify().ok
+
+The underlying layers stay importable for research use (the pre-facade
+wiring keeps working — see the migration table in ``docs/api.md``):
 
 * :mod:`repro.core` — the contribution: MIR enumeration, probe-order
   candidates (Algorithm 1), the Equation-(1) cost model, the multi-query
@@ -9,28 +26,19 @@ The package re-implements the paper's full stack:
 * :mod:`repro.ilp` — an in-house 0/1 ILP solver stack (simplex + branch and
   bound) replacing Gurobi, with a scipy/HiGHS cross-check backend.
 * :mod:`repro.engine` — a discrete-event simulated scale-out stream
-  processor replacing Apache Storm, with epoch-based adaptive execution.
+  processor replacing Apache Storm, with epoch-based adaptive execution and
+  live topology rewiring.
 * :mod:`repro.baselines` — binary join pipelines and the FI/SI/FS/SS
   comparison strategies.
-* :mod:`repro.streams` — TPC-H-shaped streams and random ILP workloads.
+* :mod:`repro.streams` — TPC-H-shaped streams, random ILP workloads, and
+  push adapters feeding sessions.
 * :mod:`repro.experiments` — drivers regenerating every figure of the paper.
-
-Quickstart::
-
-    from repro import Query, StatisticsCatalog, MultiQueryOptimizer
-
-    q1 = Query.of("q1", "R.a=S.a", "S.b=T.b")
-    q2 = Query.of("q2", "S.b=T.b", "T.c=U.c")
-    catalog = StatisticsCatalog(default_selectivity=0.01)
-    for name in "RSTU":
-        catalog.with_rate(name, 100.0)
-    plan = MultiQueryOptimizer(catalog).optimize([q1, q2]).plan
-    print(plan.describe())
 """
 
 from .core import (
     Attribute,
     ClusterConfig,
+    CrossProductError,
     JoinPredicate,
     MultiQueryOptimizer,
     OptimizerConfig,
@@ -43,29 +51,57 @@ from .core import (
 )
 from .engine import (
     AdaptiveRuntime,
+    RewirableRuntime,
     RuntimeConfig,
     TopologyRuntime,
     input_tuple,
     reference_join,
 )
+from .session import (
+    DuplicateQueryError,
+    EngineFailedError,
+    JoinSession,
+    LateTupleError,
+    SessionError,
+    UnknownQueryError,
+    UnknownRelationError,
+    VerificationReport,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The documented surface: every name here appears in docs/api.md (enforced
+#: by tests/test_public_api.py).  The facade comes first; the layer classes
+#: below it remain public for users wiring the pipeline manually.
 __all__ = [
-    "AdaptiveRuntime",
+    # session facade
+    "JoinSession",
+    "VerificationReport",
+    "SessionError",
+    "UnknownRelationError",
+    "UnknownQueryError",
+    "DuplicateQueryError",
+    "LateTupleError",
+    "EngineFailedError",
+    "CrossProductError",
+    # query model & statistics
     "Attribute",
-    "ClusterConfig",
     "JoinPredicate",
-    "MultiQueryOptimizer",
-    "OptimizerConfig",
     "Query",
-    "RuntimeConfig",
-    "SharedPlan",
     "StatisticsCatalog",
     "StreamRelation",
+    # manual wiring layer
+    "ClusterConfig",
+    "MultiQueryOptimizer",
+    "OptimizerConfig",
+    "SharedPlan",
     "Topology",
-    "TopologyRuntime",
     "build_topology",
+    # engine layer
+    "AdaptiveRuntime",
+    "RewirableRuntime",
+    "RuntimeConfig",
+    "TopologyRuntime",
     "input_tuple",
     "reference_join",
     "__version__",

@@ -8,6 +8,13 @@ Public surface:
 * :class:`SharedPlan` / :func:`build_topology` — executable plan artifacts
 """
 
+from .adaptive import (
+    AdaptiveController,
+    TopologyDiff,
+    diff_topologies,
+    plan_signature,
+    store_refcounts,
+)
 from .catalog import StatisticsCatalog
 from .cost import broadcast_factor, probe_order_cost, probe_order_steps, step_cost
 from .ilp_builder import (
@@ -19,7 +26,12 @@ from .ilp_builder import (
     user_group,
 )
 from .mir import Mir, enumerate_mirs, input_mir, merge_mirs
-from .optimizer import IndividualResult, MultiQueryOptimizer, OptimizationResult
+from .optimizer import (
+    IndividualResult,
+    MultiQueryOptimizer,
+    OptimizationResult,
+    choose_solver,
+)
 from .partitioning import (
     ClusterConfig,
     DecoratedProbeOrder,
@@ -47,6 +59,7 @@ from .topology import (
 )
 
 __all__ = [
+    "AdaptiveController",
     "Attribute",
     "CandidateInfo",
     "ClusterConfig",
@@ -71,13 +84,16 @@ __all__ = [
     "StoreSpec",
     "StreamRelation",
     "Topology",
+    "TopologyDiff",
     "apply_partitioning",
     "attribute_closure",
     "broadcast_factor",
     "build_mqo_ilp",
     "build_probe_trees",
     "build_topology",
+    "choose_solver",
     "construct_probe_orders",
+    "diff_topologies",
     "enumerate_mirs",
     "estimate_memory",
     "extract_plan",
@@ -87,8 +103,10 @@ __all__ = [
     "maintenance_query",
     "merge_mirs",
     "partition_candidates",
+    "plan_signature",
     "probe_order_cost",
     "probe_order_steps",
     "step_cost",
+    "store_refcounts",
     "user_group",
 ]

@@ -25,7 +25,13 @@ from .plan import SharedPlan
 from .query import Query
 from .topology import Topology, build_topology
 
-__all__ = ["AdaptiveController", "plan_signature", "store_refcounts"]
+__all__ = [
+    "AdaptiveController",
+    "TopologyDiff",
+    "diff_topologies",
+    "plan_signature",
+    "store_refcounts",
+]
 
 
 def plan_signature(plan: SharedPlan) -> Tuple:
@@ -59,6 +65,42 @@ def store_refcounts(plan: SharedPlan) -> Dict[str, int]:
             if store_id in counts:
                 counts[store_id] += 1
     return counts
+
+
+@dataclass(frozen=True)
+class TopologyDiff:
+    """Structural difference between two deployed topologies.
+
+    The runtime's live-rewire path is driven by exactly this classification
+    (Section VI.B): ``added`` stores are created (and, for MIR stores,
+    backfilled), ``removed`` stores release their state, ``surviving``
+    stores keep their containers in place, and ``repartitioned`` stores —
+    survivors whose partitioning attribute or task count changed — migrate
+    their tuples to the new task layout.
+    """
+
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    surviving: Tuple[str, ...]
+    repartitioned: Tuple[str, ...]
+
+
+def diff_topologies(old: Topology, new: Topology) -> TopologyDiff:
+    """Classify every store of ``old`` ∪ ``new`` for a live rewire."""
+    old_ids, new_ids = set(old.stores), set(new.stores)
+    surviving = sorted(old_ids & new_ids)
+    repartitioned = tuple(
+        store_id
+        for store_id in surviving
+        if old.stores[store_id].partition_attr != new.stores[store_id].partition_attr
+        or old.stores[store_id].parallelism != new.stores[store_id].parallelism
+    )
+    return TopologyDiff(
+        added=tuple(sorted(new_ids - old_ids)),
+        removed=tuple(sorted(old_ids - new_ids)),
+        surviving=tuple(surviving),
+        repartitioned=repartitioned,
+    )
 
 
 @dataclass

@@ -19,9 +19,9 @@ estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
-from .predicates import JoinPredicate
+from .predicates import JoinPredicate, as_predicate
 from .query import Query
 from .schema import StreamRelation
 
@@ -85,11 +85,12 @@ class StatisticsCatalog:
         return self
 
     def with_selectivity(
-        self, predicate: JoinPredicate, selectivity: float
+        self, predicate: Union[JoinPredicate, str], selectivity: float
     ) -> "StatisticsCatalog":
         if not 0 < selectivity <= 1:
             raise ValueError("selectivity must be in (0, 1]")
-        self._selectivities[_predicate_key(predicate)] = float(selectivity)
+        key = _predicate_key(as_predicate(predicate))
+        self._selectivities[key] = float(selectivity)
         return self
 
     # ------------------------------------------------------------------

@@ -23,7 +23,28 @@ from .ilp_builder import MqoIlp, OptimizerConfig, build_mqo_ilp
 from .plan import SharedPlan, extract_plan
 from .query import Query
 
-__all__ = ["MultiQueryOptimizer", "OptimizationResult", "IndividualResult"]
+__all__ = [
+    "MultiQueryOptimizer",
+    "OptimizationResult",
+    "IndividualResult",
+    "choose_solver",
+]
+
+
+def choose_solver(queries: Sequence[Query], requested: SolverMethod | str = "auto") -> str:
+    """Effective solver for a workload: ``"auto"`` degrades gracefully.
+
+    The exact ILP explodes combinatorially on cyclic join graphs (a 5-ring's
+    arc MIRs and their maintenance orders produce thousands of binaries), so
+    ``"auto"`` falls back to the grouped greedy planner as soon as any query
+    is cyclic — any feasible plan answers every query exactly; only the
+    probe-cost optimality is sacrificed.  Explicit solver choices are
+    honoured unchanged.
+    """
+    name = requested.value if isinstance(requested, SolverMethod) else str(requested)
+    if name == "auto" and any(q.is_cyclic for q in queries):
+        return "greedy"
+    return name
 
 
 @dataclass

@@ -13,7 +13,12 @@ from typing import FrozenSet, Iterable, Set
 
 from .schema import Attribute
 
-__all__ = ["JoinPredicate", "attribute_closure", "connected_components"]
+__all__ = [
+    "JoinPredicate",
+    "as_predicate",
+    "attribute_closure",
+    "connected_components",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -74,6 +79,23 @@ class JoinPredicate:
 
     def __str__(self) -> str:
         return f"{self.left}={self.right}"
+
+
+def as_predicate(predicate) -> JoinPredicate:
+    """Coerce ``"R.a=S.a"`` (or a :class:`JoinPredicate`) to a predicate.
+
+    The single parser behind every equality-string entry point
+    (:meth:`Query.of`, ``StatisticsCatalog.with_selectivity``, the session
+    builders), so malformed input fails with the same message everywhere.
+    """
+    if isinstance(predicate, JoinPredicate):
+        return predicate
+    left, sep, right = str(predicate).partition("=")
+    if not sep or not left.strip() or not right.strip():
+        raise ValueError(
+            f"expected an equality like 'R.a=S.a', got {predicate!r}"
+        )
+    return JoinPredicate.of(left.strip(), right.strip())
 
 
 def attribute_closure(

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
-from .predicates import JoinPredicate, connected_components
+from .predicates import JoinPredicate, as_predicate, connected_components
 from .schema import Attribute
 
 __all__ = ["Query", "CrossProductError"]
@@ -86,10 +86,7 @@ class Query:
     @staticmethod
     def of(name: str, *equalities: str, windows: Optional[Mapping[str, float]] = None) -> "Query":
         """Build a query from equality strings: ``Query.of("q", "R.a=S.a", ...)``."""
-        predicates = []
-        for eq in equalities:
-            left, _, right = eq.partition("=")
-            predicates.append(JoinPredicate.of(left.strip(), right.strip()))
+        predicates = [as_predicate(eq) for eq in equalities]
         relations = sorted({rel for p in predicates for rel in p.relations})
         return Query(
             name=name,

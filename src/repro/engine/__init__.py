@@ -6,10 +6,11 @@
 * :func:`reference_join` — brute-force oracle used by the test suite.
 """
 
-from .epochs import AdaptiveRuntime, SwitchRecord
+from .epochs import AdaptiveRuntime
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
 from .reference import describe_result_diff, reference_join, result_keys
+from .rewiring import RewirableRuntime, SwitchRecord
 from .routing import stable_hash, target_tasks
 from .runtime import MemoryOverflowError, RuntimeConfig, TopologyRuntime
 from .statistics import EpochStatistics
@@ -25,6 +26,7 @@ __all__ = [
     "EpochStatistics",
     "FLINK_PROFILE",
     "MemoryOverflowError",
+    "RewirableRuntime",
     "RuntimeConfig",
     "STORM_PROFILE",
     "StoreTask",

@@ -16,38 +16,29 @@ single simulated instant.  Consequently a freshly introduced MIR store is
 simulation-equivalent of the paper's transition scheme where old join
 partners keep being probed iteratively while the new store fills up
 (Section VI.B / Figure 8b).  DESIGN.md discusses the substitution.
+
+The switch mechanics themselves — plan diffing, state migration,
+repartitioning, backfill, archived lookups — live in
+:class:`~repro.engine.rewiring.RewirableRuntime`, which this runtime shares
+with the session facade's online ``add_query``/``remove_query`` path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..core.adaptive import AdaptiveController
 from ..core.partitioning import ClusterConfig
-from ..core.probe_order import maintenance_query
-from ..core.topology import EdgeSpec, Rule, StoreSpec, Topology
-from .reference import reference_join
-from .routing import stable_hash
-from .runtime import RuntimeConfig, TopologyRuntime
+from ..core.topology import Topology
+from .rewiring import RewirableRuntime, SwitchRecord
+from .runtime import RuntimeConfig
 from .statistics import EpochStatistics
-from .stores import StoreTask
 from .tuples import StreamTuple
 
 __all__ = ["AdaptiveRuntime", "SwitchRecord"]
 
 
-@dataclass
-class SwitchRecord:
-    """One installed reconfiguration (for tests and experiment plots)."""
-
-    epoch: int
-    time: float
-    added_stores: Tuple[str, ...]
-    removed_stores: Tuple[str, ...]
-
-
-class AdaptiveRuntime(TopologyRuntime):
+class AdaptiveRuntime(RewirableRuntime):
     """A runtime that re-optimizes itself at epoch boundaries."""
 
     def __init__(
@@ -74,11 +65,6 @@ class AdaptiveRuntime(TopologyRuntime):
         self.current_epoch = 0
         self.stats = EpochStatistics(epoch=0)
         self.pending: Dict[int, Topology] = {}
-        self.switches: List[SwitchRecord] = []
-        self._edge_archive: Dict[str, EdgeSpec] = dict(topology.edges)
-        self._rule_archive: Dict[Tuple[str, str], List[Rule]] = {}
-        self._store_archive: Dict[str, StoreSpec] = dict(topology.stores)
-        self._archive_rules(topology)
 
     # ------------------------------------------------------------------
     # epoch machinery
@@ -91,7 +77,11 @@ class AdaptiveRuntime(TopologyRuntime):
             self.current_epoch += 1
             topology = self.pending.pop(self.current_epoch, None)
             if topology is not None:
-                self._switch(topology, self.current_epoch * self.epoch_length)
+                self.install(
+                    topology,
+                    now=self.current_epoch * self.epoch_length,
+                    epoch=self.current_epoch,
+                )
 
     def on_ingest(self, tup: StreamTuple) -> None:
         self.stats.observe(tup)
@@ -110,134 +100,3 @@ class AdaptiveRuntime(TopologyRuntime):
         if topology is not None:
             # decided while epoch+1 runs; in effect from epoch+2 (Fig. 5)
             self.pending[epoch + 2] = topology
-
-    # ------------------------------------------------------------------
-    # reconfiguration
-    # ------------------------------------------------------------------
-    def _switch(self, topology: Topology, now: float) -> None:
-        old_specs = dict(self.topology.stores)
-        old_ids = set(old_specs)
-        new_ids = set(topology.stores)
-
-        added = sorted(new_ids - old_ids)
-        removed = sorted(old_ids - new_ids)
-
-        for store_id in added:
-            spec = topology.stores[store_id]
-            self.tasks[store_id] = [
-                StoreTask(store_id=store_id, task_index=i, retention=spec.retention)
-                for i in range(spec.parallelism)
-            ]
-
-        # Stores surviving the switch under a different partitioning scheme
-        # (or task count) must migrate their state: tuples were placed by the
-        # old hash function and would be invisible to newly routed probes.
-        for store_id in sorted(new_ids & old_ids):
-            old_spec, new_spec = old_specs[store_id], topology.stores[store_id]
-            if (
-                old_spec.partition_attr != new_spec.partition_attr
-                or old_spec.parallelism != new_spec.parallelism
-            ):
-                self._repartition(new_spec)
-
-        self.topology = topology
-        self._install_stores(topology)
-        self._edge_archive.update(topology.edges)
-        self._store_archive.update(topology.stores)
-        self._archive_rules(topology)
-
-        for store_id in added:
-            spec = topology.stores[store_id]
-            if not spec.mir.is_input:
-                self._backfill(spec, now)
-
-        # Reference counting: stores no longer serving any query release
-        # their state (the tasks stay resolvable for in-flight messages).
-        for store_id in removed:
-            for task in self.tasks.get(store_id, []):
-                freed = sum(
-                    sum(t.width for t in cont.iter_tuples())
-                    for cont in task.containers.values()
-                )
-                if freed:
-                    self.metrics.on_evict(freed)
-                task.containers.clear()
-
-        self.switches.append(
-            SwitchRecord(
-                epoch=self.current_epoch,
-                time=now,
-                added_stores=tuple(added),
-                removed_stores=tuple(removed),
-            )
-        )
-
-    def _repartition(self, spec: StoreSpec) -> None:
-        """Redistribute a store's state under a new partitioning scheme."""
-        old_tasks = self.tasks.get(spec.store_id, [])
-        tuples: List[StreamTuple] = []
-        for task in old_tasks:
-            for container in task.containers.values():
-                tuples.extend(container.iter_tuples())
-        self.tasks[spec.store_id] = [
-            StoreTask(store_id=spec.store_id, task_index=i, retention=spec.retention)
-            for i in range(spec.parallelism)
-        ]
-        for tup in tuples:
-            self.tasks[spec.store_id][self._task_for(spec, tup)].insert(
-                self._epoch, tup
-            )
-        self.metrics.migrated_tuples += len(tuples)
-
-    def _task_for(self, spec: StoreSpec, tup: StreamTuple) -> int:
-        if spec.parallelism <= 1:
-            return 0
-        if spec.partition_attr is not None:
-            value = tup.get(spec.partition_attr)
-            if value is not None:
-                return stable_hash(value) % spec.parallelism
-        return stable_hash(tup.key()) % spec.parallelism
-
-    def _backfill(self, spec: StoreSpec, now: float) -> None:
-        """Seed a new MIR store from the windowed input stores.
-
-        The paper instead keeps supplementary probe orders alive for one
-        window; backfilling is the atomic-switch equivalent with identical
-        result sets (see module docstring).
-        """
-        streams: Dict[str, List[StreamTuple]] = {}
-        for relation in spec.mir.relations:
-            live: List[StreamTuple] = []
-            for task in self.tasks.get(relation, []):
-                for container in task.containers.values():
-                    live.extend(container.iter_tuples())
-            streams[relation] = sorted(live, key=lambda t: t.latest_ts)
-        sub_query = maintenance_query(spec.mir)
-        intermediates = reference_join(sub_query, streams, self.windows)
-        for tup in intermediates:
-            self.tasks[spec.store_id][self._task_for(spec, tup)].insert(
-                self._epoch, tup
-            )
-            self.metrics.on_store(tup.width)
-
-    # ------------------------------------------------------------------
-    # archived lookups (in-flight messages survive switches in timed mode)
-    # ------------------------------------------------------------------
-    def _archive_rules(self, topology: Topology) -> None:
-        for store_id, ruleset in topology.rulesets.items():
-            for label, rules in ruleset.items():
-                self._rule_archive[(store_id, label)] = rules
-
-    def edge_spec(self, label: str) -> EdgeSpec:
-        edge = self.topology.edges.get(label)
-        return edge if edge is not None else self._edge_archive[label]
-
-    def rules_for(self, store_id: str, label: str):
-        rules = self.topology.rulesets.get(store_id, {}).get(label)
-        if rules is not None:
-            return rules
-        return self._rule_archive.get((store_id, label), [])
-
-    def _store_spec(self, store_id: str) -> StoreSpec:
-        spec = self.topology.stores.get(store_id)
-        return spec if spec is not None else self._store_archive[store_id]

@@ -35,6 +35,14 @@ class EngineMetrics:
     stored_units: float = 0.0
     peak_stored_units: float = 0.0
     migrated_tuples: int = 0
+    #: topology rewires installed on a live runtime (adaptive epoch switches
+    #: and session add/remove_query replans)
+    rewires: int = 0
+    #: stored tuples sitting in *surviving* stores at rewire instants — the
+    #: state a naive restart would have rebuilt; > 0 proves live migration
+    preserved_tuples: int = 0
+    #: intermediate tuples seeded into freshly introduced MIR stores
+    backfilled_tuples: int = 0
     first_arrival: Optional[float] = None
     last_completion: float = 0.0
     failed: bool = False
@@ -76,6 +84,12 @@ class EngineMetrics:
         self.latencies.append(latency)
         self.latency_samples.append((completion_ts, latency))
         self.last_completion = max(self.last_completion, completion_ts)
+
+    def on_rewire(self, preserved_tuples: int) -> None:
+        """A topology switch on a live runtime kept ``preserved_tuples``
+        stored tuples in place across surviving stores."""
+        self.rewires += 1
+        self.preserved_tuples += preserved_tuples
 
     def on_failure(self, reason: str) -> None:
         self.failed = True

@@ -77,19 +77,22 @@ def reference_join(
     # Re-trigger each result by its latest component (the tuple whose
     # arrival completes the join) for latency semantics parity.  Timestamp
     # ties are broken by relation name so the trigger is deterministic.
+    # The max-merged arrival sequence is carried over: rewire backfill feeds
+    # reference results into live watermark-mode stores, where probe
+    # visibility is decided by ``seq``.
     normalized = []
     for res in results:
         latest_rel = max(
             sorted(res.timestamps), key=lambda r: res.timestamps[r]
         )
-        normalized.append(
-            StreamTuple(
-                values=res.values,
-                timestamps=res.timestamps,
-                trigger=latest_rel,
-                trigger_ts=res.timestamps[latest_rel],
-            )
+        out = StreamTuple(
+            values=res.values,
+            timestamps=res.timestamps,
+            trigger=latest_rel,
+            trigger_ts=res.timestamps[latest_rel],
         )
+        out.seq = res.seq
+        normalized.append(out)
     return normalized
 
 

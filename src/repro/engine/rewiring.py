@@ -1,0 +1,261 @@
+"""Live topology rewiring with state migration (Section VI.B).
+
+:class:`RewirableRuntime` is a :class:`~repro.engine.runtime.TopologyRuntime`
+whose deployed topology can be *replaced while tuples are flowing*:
+:meth:`RewirableRuntime.install` diffs the old and new topologies
+(:func:`repro.core.adaptive.diff_topologies`) and
+
+* creates tasks for added stores, *backfilling* freshly introduced MIR
+  stores from the windowed input stores they derive from (the atomic-switch
+  equivalent of the paper's transition scheme, where old join partners keep
+  being probed iteratively while the new store fills up — Figure 8b),
+* keeps surviving stores' containers in place — shared state is preserved,
+  never rebuilt (``EngineMetrics.preserved_tuples`` counts it) — updating
+  their retention when the query mix changed it,
+* *repartitions* survivors whose partitioning attribute or task count
+  changed (tuples were placed by the old hash function and would be
+  invisible to newly routed probes),
+* releases the state of removed stores while keeping their tasks resolvable
+  for in-flight messages (timed mode),
+* archives edges/rules/specs so messages already routed under a retired
+  topology still find their behaviour.
+
+Two subsystems drive installs: the epoch-based :class:`~repro.engine.epochs.AdaptiveRuntime`
+(statistics-triggered plan switches) and the session facade
+(:class:`repro.JoinSession`), whose online ``add_query`` / ``remove_query``
+replan between pushed tuples.  Watermark mode composes with rewiring: the
+arrival-sequence counter and per-stream high waters live on the runtime and
+survive the switch, and backfilled intermediates carry the max-merged
+arrival sequence of their components, so seq-based probe visibility stays
+exact across a rewire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.adaptive import TopologyDiff, diff_topologies
+from ..core.probe_order import maintenance_query
+from ..core.topology import EdgeSpec, Rule, StoreSpec, Topology
+from .reference import reference_join
+from .routing import stable_hash
+from .runtime import RuntimeConfig, TopologyRuntime
+from .stores import StoreTask
+from .tuples import StreamTuple
+
+__all__ = ["RewirableRuntime", "SwitchRecord"]
+
+
+@dataclass
+class SwitchRecord:
+    """One installed reconfiguration (for tests and experiment plots)."""
+
+    epoch: int
+    time: float
+    added_stores: Tuple[str, ...]
+    removed_stores: Tuple[str, ...]
+
+
+class RewirableRuntime(TopologyRuntime):
+    """A runtime whose topology can be atomically replaced mid-stream."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        windows: Dict[str, float],
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        super().__init__(topology, windows, config)
+        self.switches: List[SwitchRecord] = []
+        self._edge_archive: Dict[str, EdgeSpec] = dict(topology.edges)
+        self._rule_archive: Dict[Tuple[str, str], List[Rule]] = {}
+        self._store_archive: Dict[str, StoreSpec] = dict(topology.stores)
+        self._archive_rules(topology)
+
+    # ------------------------------------------------------------------
+    # reconfiguration
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        topology: Topology,
+        now: float,
+        epoch: int = 0,
+        windows: Optional[Dict[str, float]] = None,
+    ) -> SwitchRecord:
+        """Replace the deployed topology, migrating live store state.
+
+        ``now`` is the switch instant (event time) recorded on the
+        :class:`SwitchRecord`; ``windows`` extends/updates the per-relation
+        window map when the new plan covers relations the old one did not.
+        Deferred micro-batch cascades are flushed against the *old* plan
+        first, so the switch falls exactly between two pushed tuples.
+        """
+        self.flush()
+        if windows:
+            self.windows.update(windows)
+        # Watermark mode: an ingest stream the *old* topology did not read
+        # — brand new, or released and now re-added — has no (or a stale)
+        # high water, which would pin the global watermark at -inf (or at
+        # its pre-removal past), suspending eviction everywhere and
+        # accepting stragglers whose join partners are long evicted.  Its
+        # floor is the current watermark: no stored state below it exists,
+        # so a first/returning push must carry an event timestamp >= the
+        # watermark anyway.  Streams the old watermark already covered
+        # satisfy high >= mark + bound, so the max() is a no-op for them.
+        if self._seq_visibility:
+            mark = self.watermark()
+            if mark != float("-inf"):
+                bound = self.config.disorder_bound or 0.0
+                for relation in topology.ingest:
+                    self._stream_high[relation] = max(
+                        self._stream_high.get(relation, float("-inf")),
+                        mark + bound,
+                    )
+        diff = diff_topologies(self.topology, topology)
+
+        for store_id in diff.added:
+            spec = topology.stores[store_id]
+            self.tasks[store_id] = [
+                StoreTask(store_id=store_id, task_index=i, retention=spec.retention)
+                for i in range(spec.parallelism)
+            ]
+
+        # Stores surviving the switch under a different partitioning scheme
+        # (or task count) must migrate their state: tuples were placed by the
+        # old hash function and would be invisible to newly routed probes.
+        for store_id in diff.repartitioned:
+            self._repartition(topology.stores[store_id])
+
+        # Surviving stores keep their containers; only the retention horizon
+        # follows the new query mix (a new query may need a longer window).
+        preserved = 0
+        for store_id in diff.surviving:
+            spec = topology.stores[store_id]
+            for task in self.tasks.get(store_id, []):
+                preserved += task.stored_tuples()
+                if task.retention != spec.retention:
+                    task.retention = spec.retention
+
+        self.topology = topology
+        self._install_stores(topology)
+        # the relation set (and thus window uniformity) may have changed
+        self._uniform_window = self._compute_uniform_window()
+        # In logical mode no message can be in flight outside a cascade and
+        # install() flushed first, so retired edges/rules/specs are
+        # unreachable: rebuild the archives from the live topology instead
+        # of accumulating every retired entry across a session's churn.
+        # Timed mode keeps the cumulative archives for in-flight messages.
+        logical = self.config.mode == "logical"
+        if logical:
+            self._edge_archive = dict(topology.edges)
+            self._store_archive = dict(topology.stores)
+            self._rule_archive = {}
+            self._oriented_cache.clear()
+        else:
+            self._edge_archive.update(topology.edges)
+            self._store_archive.update(topology.stores)
+        self._archive_rules(topology)
+
+        for store_id in diff.added:
+            spec = topology.stores[store_id]
+            if not spec.mir.is_input:
+                self._backfill(spec, now)
+
+        # Reference counting: stores no longer serving any query release
+        # their state; in timed mode the emptied tasks stay resolvable for
+        # in-flight messages, in logical mode they are dropped outright.
+        for store_id in diff.removed:
+            for task in self.tasks.get(store_id, []):
+                freed = sum(
+                    sum(t.width for t in cont.iter_tuples())
+                    for cont in task.containers.values()
+                )
+                if freed:
+                    self.metrics.on_evict(freed)
+                task.containers.clear()
+            if logical:
+                self.tasks.pop(store_id, None)
+
+        self.metrics.on_rewire(preserved)
+        record = SwitchRecord(
+            epoch=epoch,
+            time=now,
+            added_stores=diff.added,
+            removed_stores=diff.removed,
+        )
+        self.switches.append(record)
+        return record
+
+    def _repartition(self, spec: StoreSpec) -> None:
+        """Redistribute a store's state under a new partitioning scheme."""
+        old_tasks = self.tasks.get(spec.store_id, [])
+        tuples: List[StreamTuple] = []
+        for task in old_tasks:
+            for container in task.containers.values():
+                tuples.extend(container.iter_tuples())
+        self.tasks[spec.store_id] = [
+            StoreTask(store_id=spec.store_id, task_index=i, retention=spec.retention)
+            for i in range(spec.parallelism)
+        ]
+        for tup in tuples:
+            self.tasks[spec.store_id][self._task_for(spec, tup)].insert(
+                self._epoch, tup
+            )
+        self.metrics.migrated_tuples += len(tuples)
+
+    def _task_for(self, spec: StoreSpec, tup: StreamTuple) -> int:
+        if spec.parallelism <= 1:
+            return 0
+        if spec.partition_attr is not None:
+            value = tup.get(spec.partition_attr)
+            if value is not None:
+                return stable_hash(value) % spec.parallelism
+        return stable_hash(tup.key()) % spec.parallelism
+
+    def _backfill(self, spec: StoreSpec, now: float) -> None:
+        """Seed a new MIR store from the windowed input stores.
+
+        The paper instead keeps supplementary probe orders alive for one
+        window; backfilling is the atomic-switch equivalent with identical
+        result sets (see :mod:`repro.engine.epochs`).  The intermediates
+        carry the max-merged arrival sequence of their components, keeping
+        seq-based probe visibility exact under watermark mode.
+        """
+        streams: Dict[str, List[StreamTuple]] = {}
+        for relation in spec.mir.relations:
+            live: List[StreamTuple] = []
+            for task in self.tasks.get(relation, []):
+                for container in task.containers.values():
+                    live.extend(container.iter_tuples())
+            streams[relation] = sorted(live, key=lambda t: t.latest_ts)
+        sub_query = maintenance_query(spec.mir)
+        intermediates = reference_join(sub_query, streams, self.windows)
+        for tup in intermediates:
+            self.tasks[spec.store_id][self._task_for(spec, tup)].insert(
+                self._epoch, tup
+            )
+            self.metrics.on_store(tup.width)
+        self.metrics.backfilled_tuples += len(intermediates)
+
+    # ------------------------------------------------------------------
+    # archived lookups (in-flight messages survive switches in timed mode)
+    # ------------------------------------------------------------------
+    def _archive_rules(self, topology: Topology) -> None:
+        for store_id, ruleset in topology.rulesets.items():
+            for label, rules in ruleset.items():
+                self._rule_archive[(store_id, label)] = rules
+
+    def edge_spec(self, label: str) -> EdgeSpec:
+        edge = self.topology.edges.get(label)
+        return edge if edge is not None else self._edge_archive[label]
+
+    def rules_for(self, store_id: str, label: str):
+        rules = self.topology.rulesets.get(store_id, {}).get(label)
+        if rules is not None:
+            return rules
+        return self._rule_archive.get((store_id, label), [])
+
+    def _store_spec(self, store_id: str) -> StoreSpec:
+        spec = self.topology.stores.get(store_id)
+        return spec if spec is not None else self._store_archive[store_id]

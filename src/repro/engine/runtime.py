@@ -72,11 +72,45 @@ from .routing import stable_hash, target_tasks
 from .stores import StoreTask, orient_predicates, probe_batch
 from .tuples import StreamTuple
 
-__all__ = ["RuntimeConfig", "TopologyRuntime", "MemoryOverflowError"]
+__all__ = [
+    "RuntimeConfig",
+    "TopologyRuntime",
+    "MemoryOverflowError",
+    "validate_arrival",
+]
 
 
 class MemoryOverflowError(RuntimeError):
     """A worker exceeded its memory budget (stored state + queued tuples)."""
+
+
+def validate_arrival(
+    trigger: str,
+    ts: float,
+    last_ts: float,
+    stream_high: Dict[str, float],
+    bound: Optional[float],
+) -> None:
+    """The arrival-order contract, shared by the runtime and the session.
+
+    Ordered mode (``bound is None``): event timestamps must be
+    non-decreasing.  Watermark mode: a tuple may lag its *own* stream's
+    high-water event timestamp by at most ``bound`` — a straggler beyond
+    that would silently lose results, so it is rejected loudly instead.
+    Raises :class:`ValueError`; callers update their order state only
+    after this passes.
+    """
+    if bound is None:
+        if ts < last_ts:
+            raise ValueError("inputs must be sorted by timestamp")
+    else:
+        high = stream_high.get(trigger)
+        if high is not None and ts < high - bound:
+            raise ValueError(
+                f"tuple of {trigger!r} at τ={ts:g} arrived "
+                f"{high - ts:g} behind the stream high water "
+                f"{high:g}, exceeding disorder_bound={bound:g}"
+            )
 
 
 @dataclass
@@ -149,6 +183,22 @@ class TopologyRuntime:
         self._seq_visibility = self.config.disorder_bound is not None
         self._arrival_seq = 0
         self._stream_high: Dict[str, float] = {}
+        # Push-driver state (logical mode): the pending same-relation
+        # micro-batch and the strict-order high water.  Cross-input batching
+        # requires the default per-input hooks: an overridden boundary hook
+        # (adaptive plan switches) must observe a fully processed prefix
+        # before every input.  A memory budget also disables it — the seed
+        # checked the limit after every input, and deferring cascades would
+        # overshoot the failure point by up to a whole batch.
+        self._batchable = (
+            type(self).on_input_boundary is TopologyRuntime.on_input_boundary
+            and type(self).on_ingest is TopologyRuntime.on_ingest
+            and type(self).ingest_edges is TopologyRuntime.ingest_edges
+            and self.config.memory_limit_units is None
+        )
+        self._group: List[StreamTuple] = []
+        self._group_rel: Optional[str] = None
+        self._last_ts = float("-inf")
         self._install_stores(topology)
 
     # ------------------------------------------------------------------
@@ -220,74 +270,81 @@ class TopologyRuntime:
         )
 
     # ------------------------------------------------------------------
-    # logical mode
+    # logical mode (push driver)
     # ------------------------------------------------------------------
-    def _run_logical(self, inputs: Iterable[StreamTuple]) -> None:
-        last_ts = float("-inf")
-        # Cross-input batching requires the default per-input hooks: an
-        # overridden boundary hook (adaptive plan switches) must observe a
-        # fully processed prefix before every input.  A memory budget also
-        # disables it — the seed checked the limit after every input, and
-        # deferring cascades would overshoot the failure point by up to a
-        # whole batch.
-        batchable = (
-            type(self).on_input_boundary is TopologyRuntime.on_input_boundary
-            and type(self).on_ingest is TopologyRuntime.on_ingest
-            and type(self).ingest_edges is TopologyRuntime.ingest_edges
-            and self.config.memory_limit_units is None
-        )
-        batch_size = self.config.batch_size if batchable else 1
-        group: List[StreamTuple] = []
-        group_rel: Optional[str] = None
-        bound = self.config.disorder_bound
-        stream_high = self._stream_high
+    def process(self, tup: StreamTuple) -> None:
+        """Push one input tuple through the logical pipeline.
 
+        This is the incremental entry point behind :meth:`run` and the
+        :class:`~repro.session.JoinSession` facade: arrival-order validation
+        (strict timestamp order, or the watermark bound), arrival-sequence
+        assignment, and micro-batch accumulation all happen here.  A cascade
+        may be *deferred* until the pending same-relation micro-batch flushes
+        (relation change, full batch, or an explicit :meth:`flush`), which
+        never changes result sets — only when they materialize.
+
+        A failed runtime (memory overflow) ignores further pushes, matching
+        the batch driver's stop-at-failure semantics; inspect
+        ``metrics.failed`` / ``metrics.failure_reason``.
+        """
+        if self.config.mode != "logical":
+            raise RuntimeError(
+                "push-based processing requires logical mode; the timed "
+                "simulator needs the whole feed to build its event heap"
+            )
+        if self.metrics.failed:
+            return
+        ts = tup.trigger_ts
+        bound = self.config.disorder_bound
+        validate_arrival(tup.trigger, ts, self._last_ts, self._stream_high, bound)
+        if bound is None:
+            self._last_ts = ts
+        else:
+            # Watermark mode: arrival order is the push/feed order.  Assign
+            # the arrival sequence (probe visibility) and advance the
+            # per-stream high water (eviction watermark).
+            self._arrival_seq += 1
+            tup.seq = self._arrival_seq
+            high = self._stream_high.get(tup.trigger)
+            if high is None or ts > high:
+                self._stream_high[tup.trigger] = ts
+        if self._batchable:
+            if self._group and (
+                tup.trigger != self._group_rel
+                or len(self._group) >= self.config.batch_size
+            ):
+                self.flush()
+            if self.metrics.failed:
+                return
+            self.metrics.on_input(ts)
+            self._group_rel = tup.trigger
+            self._group.append(tup)
+        else:
+            self.on_input_boundary(ts)
+            self.metrics.on_input(ts)
+            self.on_ingest(tup)
+            self._maybe_evict(ts)
+            for label in self.ingest_edges(tup):
+                self._send_logical(label, (tup,), ts)
+            self._check_memory()
+
+    def flush(self) -> None:
+        """Run any deferred micro-batch cascade to completion.
+
+        After this returns, every pushed tuple's results have been emitted;
+        the session facade flushes before reads, verification, and rewires.
+        """
+        if self._group and not self.metrics.failed:
+            group, relation = self._group, self._group_rel
+            self._group, self._group_rel = [], None
+            self._flush_group(relation, group)
+
+    def _run_logical(self, inputs: Iterable[StreamTuple]) -> None:
         for tup in inputs:
             if self.metrics.failed:
                 break
-            ts = tup.trigger_ts
-            if bound is None:
-                if ts < last_ts:
-                    raise ValueError("inputs must be sorted by timestamp")
-                last_ts = ts
-            else:
-                # Watermark mode: arrival order is the feed order.  Assign
-                # the arrival sequence (probe visibility) and advance the
-                # per-stream high water (eviction watermark); a straggler
-                # beyond the declared bound would silently lose results, so
-                # it is rejected loudly instead.
-                self._arrival_seq += 1
-                tup.seq = self._arrival_seq
-                high = stream_high.get(tup.trigger)
-                if high is None or ts > high:
-                    stream_high[tup.trigger] = ts
-                elif ts < high - bound:
-                    raise ValueError(
-                        f"tuple of {tup.trigger!r} at τ={ts:g} arrived "
-                        f"{high - ts:g} behind the stream high water "
-                        f"{high:g}, exceeding disorder_bound={bound:g}"
-                    )
-            if batchable:
-                if group and (
-                    tup.trigger != group_rel or len(group) >= batch_size
-                ):
-                    self._flush_group(group_rel, group)
-                    group = []
-                if self.metrics.failed:
-                    break
-                self.metrics.on_input(ts)
-                group_rel = tup.trigger
-                group.append(tup)
-            else:
-                self.on_input_boundary(ts)
-                self.metrics.on_input(ts)
-                self.on_ingest(tup)
-                self._maybe_evict(ts)
-                for label in self.ingest_edges(tup):
-                    self._send_logical(label, (tup,), ts)
-                self._check_memory()
-        if group and not self.metrics.failed:
-            self._flush_group(group_rel, group)
+            self.process(tup)
+        self.flush()
 
     def _flush_group(self, relation: str, group: List[StreamTuple]) -> None:
         """Run the shared cascade of consecutive same-relation inputs.

@@ -5,11 +5,14 @@
 * :mod:`repro.experiments.fig9` — ILP study (9a–9f)
 * :mod:`repro.experiments.shapes` — workload breadth beyond the paper:
   chain/star/cycle shapes × uniform/Zipf/out-of-order arrival regimes
+* :mod:`repro.experiments.live` — session churn: push ingestion with
+  online query add/remove over the shared plan, oracle-verified
 """
 
 from .fig7 import Fig7Row, ratio_summary, run_fig7, workload_for
 from .fig8 import Fig8Outcome, LINEAR_QUERY, run_fig8a, run_fig8b
 from .fig9 import Fig9Point, run_point, sweep_num_queries, sweep_query_sizes
+from .live import LivePhase, run_live_session
 from .reporting import format_series, format_table
 from .shapes import ShapeRow, run_shapes, shape_workload
 
@@ -18,12 +21,14 @@ __all__ = [
     "Fig8Outcome",
     "Fig9Point",
     "LINEAR_QUERY",
+    "LivePhase",
     "format_series",
     "format_table",
     "ratio_summary",
     "run_fig7",
     "run_fig8a",
     "run_fig8b",
+    "run_live_session",
     "run_point",
     "run_shapes",
     "ShapeRow",

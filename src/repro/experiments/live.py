@@ -1,0 +1,169 @@
+"""Live-session scenario: online query churn over one shared plan.
+
+Beyond the paper's static figures: a :class:`repro.JoinSession` starts with
+a base workload, streams tuples through the shared plan, and then *mutates*
+— queries are added and removed while tuples keep flowing.  Reported per
+phase: probe cost, produced results, live stored state, and the rewire
+metrics that prove migration (preserved vs. backfilled tuples).  Every
+phase boundary is verified against the brute-force reference restricted to
+each query's active interval, so the table doubles as an end-to-end
+correctness check of the online path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.query import Query
+from ..session import JoinSession
+from ..streams.adapters import replay
+from ..streams.generators import StreamSpec, generate_streams, uniform_domain
+from .reporting import format_table
+
+__all__ = ["LivePhase", "run_live_session", "main"]
+
+#: chain schema reused by the scenario (same shape as the quickstart)
+_ATTRS = {
+    "R": ["a"],
+    "S": ["a", "b"],
+    "T": ["b", "c"],
+    "U": ["c", "d"],
+    "V": ["d"],
+}
+
+
+@dataclass
+class LivePhase:
+    """Metrics snapshot after one phase of the churn scenario."""
+
+    phase: str
+    queries: int
+    pushed: int
+    probe_cost: int
+    results: int
+    stored: int
+    preserved: int
+    backfilled: int
+    verified: bool
+
+
+def _specs(relations, rate: float, domain: int) -> List[StreamSpec]:
+    return [
+        StreamSpec(
+            relation=rel,
+            rate=rate,
+            attributes={a: uniform_domain(domain) for a in _ATTRS[rel]},
+        )
+        for rel in relations
+    ]
+
+
+def run_live_session(
+    rate: float = 12.0,
+    duration: float = 12.0,
+    domain: int = 8,
+    window: float = 2.5,
+    seed: int = 0,
+    disorder_bound: Optional[float] = None,
+    verify: bool = True,
+) -> List[LivePhase]:
+    """Three-phase churn: base workload → +q3 (shared join) → −q1.
+
+    The feed covers all five chain relations for the whole run; pushes are
+    filtered to the session's registered relations, which shrink when the
+    only query reading a relation expires.
+    """
+    session = (
+        JoinSession(
+            window=window,
+            solver="scipy",
+            disorder_bound=disorder_bound,
+            parallelism=2,
+        )
+        .add_query("q1", "R.a=S.a", "S.b=T.b")
+        .add_query("q2", "S.b=T.b", "T.c=U.c")
+    )
+    streams, feed = generate_streams(
+        _specs("RSTUV", rate, domain), duration, seed=seed
+    )
+    if disorder_bound is not None:
+        from ..streams.generators import bounded_delay_feed
+
+        feed = bounded_delay_feed(streams, disorder_bound, seed=seed)
+
+    cut1, cut2 = duration / 3.0, 2.0 * duration / 3.0
+    phases: List[LivePhase] = []
+
+    def snapshot(phase: str) -> None:
+        session.flush()
+        metrics = session.metrics
+        phases.append(
+            LivePhase(
+                phase=phase,
+                queries=len(session.queries),
+                pushed=session.pushed,
+                probe_cost=metrics.tuples_sent,
+                results=metrics.results_emitted,
+                stored=session.stored_tuples(),
+                preserved=metrics.preserved_tuples,
+                backfilled=metrics.backfilled_tuples,
+                verified=bool(session.verify(raise_on_mismatch=True))
+                if verify
+                else False,
+            )
+        )
+
+    def replay_span(lo: float, hi: float) -> None:
+        replay(
+            session,
+            (
+                t
+                for t in feed
+                if lo <= t.trigger_ts < hi and t.trigger in session.relations
+            ),
+        )
+
+    replay_span(0.0, cut1)
+    snapshot("base: q1+q2")
+
+    session.add_query(Query.of("q3", "T.c=U.c", "U.d=V.d"))
+    replay_span(cut1, cut2)
+    snapshot("+q3 (shares T,U)")
+
+    session.remove_query("q1")
+    replay_span(cut2, duration)
+    snapshot("-q1 (R released)")
+    return phases
+
+
+def main() -> None:
+    rows = run_live_session()
+    print("# live session churn: push ingestion + online add/remove")
+    print(
+        format_table(
+            ["phase", "queries", "pushed", "probe cost", "results",
+             "stored", "preserved", "backfilled", "exact"],
+            [
+                (
+                    p.phase,
+                    p.queries,
+                    p.pushed,
+                    p.probe_cost,
+                    p.results,
+                    p.stored,
+                    p.preserved,
+                    p.backfilled,
+                    p.verified,
+                )
+                for p in rows
+            ],
+        )
+    )
+    print()
+    print("preserved > 0 proves surviving store state migrated across the")
+    print("rewires instead of being rebuilt; every phase is oracle-verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,889 @@
+"""`JoinSession`: the one-object facade over the whole reproduction stack.
+
+The paper's contribution is *joint* optimization of a **changing** set of
+multi-way stream joins; this module packages that as a long-lived service
+instead of a one-shot batch pipeline.  A session owns the statistics
+catalog, the multi-query optimizer, the compiled topology, and the
+execution runtime behind a single fluent object::
+
+    session = (
+        JoinSession(window=10.0, solver="auto")
+        .add_query("q1", "R.a=S.a", "S.b=T.b")
+        .add_query("q2", "S.b=T.b", "T.c=U.c")
+    )
+    session.push("R", {"a": 3}, ts=1.25)          # live, push-based ingestion
+    session.push("S", {"a": 3, "b": 7}, ts=1.5)
+    ...
+    session.add_query("q3", "T.c=U.c", "U.d=V.d")  # online, mid-stream
+    session.remove_query("q1")
+    report = session.verify()                      # brute-force oracle check
+
+Key behaviours:
+
+* **Push-based ingestion** — ``push`` / ``push_batch`` feed tuples one at a
+  time; the engine's micro-batched logical cascade runs underneath
+  (:meth:`~repro.engine.runtime.TopologyRuntime.process`).  Ordered mode
+  requires timestamp-sorted pushes; passing ``disorder_bound`` switches the
+  session to watermark mode with bounded out-of-order pushes.
+* **Online query add/remove** — after tuples have flowed, ``add_query`` /
+  ``remove_query`` re-run the shared-plan ILP (``solver="auto"`` falls back
+  to the greedy planner for cyclic shapes), diff the old and new topologies,
+  and *migrate* surviving store state across the rewire
+  (:class:`~repro.engine.rewiring.RewirableRuntime`): unaffected relation
+  and MIR stores keep their containers, new MIR stores are backfilled from
+  the windowed input stores, and only removed stores release state.
+* **Observed statistics** — arrival rates and join selectivities default to
+  being measured from the pushed tuples themselves
+  (:class:`~repro.engine.statistics.EpochStatistics`); ``with_rate`` /
+  ``with_selectivity`` / ``with_window`` declare overrides that always win.
+  ``warmup=N`` defers the first plan until N tuples arrived, closing the
+  catalog-bootstrapping gap entirely.
+* **Verification** — ``verify()`` replays the recorded input history through
+  the brute-force :func:`~repro.engine.reference.reference_join` and checks
+  every query (including removed ones) against the reference *restricted to
+  its active interval*: a result is expected iff its last-arriving
+  component was pushed while the query was installed.
+
+Exceptions raised by the session are precise and typed (see
+:class:`SessionError` and subclasses); ``add_query`` with a disconnected
+join graph raises :class:`~repro.core.query.CrossProductError` exactly like
+the underlying :class:`~repro.core.query.Query` constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .core.catalog import StatisticsCatalog
+from .core.ilp_builder import OptimizerConfig
+from .core.optimizer import MultiQueryOptimizer, choose_solver
+from .core.partitioning import ClusterConfig
+from .core.plan import SharedPlan
+from .core.predicates import JoinPredicate, as_predicate
+from .core.query import Query
+from .core.topology import Topology, build_topology
+from .engine.metrics import EngineMetrics
+from .engine.reference import describe_result_diff, reference_join, result_keys
+from .engine.rewiring import RewirableRuntime, SwitchRecord
+from .engine.runtime import RuntimeConfig, validate_arrival
+from .engine.statistics import EpochStatistics
+from .engine.tuples import StreamTuple, input_tuple
+
+__all__ = [
+    "JoinSession",
+    "SessionError",
+    "UnknownRelationError",
+    "UnknownQueryError",
+    "DuplicateQueryError",
+    "LateTupleError",
+    "EngineFailedError",
+    "VerificationReport",
+]
+
+
+class SessionError(RuntimeError):
+    """Base class for session-level usage errors."""
+
+
+class UnknownRelationError(SessionError, KeyError):
+    """A tuple was pushed for a relation no installed query reads.
+
+    Relations are registered implicitly by the queries that join them;
+    pushing to anything else would silently drop data, so it raises.
+    """
+
+    # KeyError.__str__ reprs its argument, which would quote-mangle the
+    # human-readable message; keep the plain Exception rendering
+    __str__ = Exception.__str__
+
+
+class UnknownQueryError(SessionError, KeyError):
+    """A query name was referenced that this session has never installed."""
+
+    __str__ = Exception.__str__
+
+
+class DuplicateQueryError(SessionError, ValueError):
+    """``add_query`` with a name that is currently installed."""
+
+
+class LateTupleError(SessionError, ValueError):
+    """A push violated the session's arrival-order contract.
+
+    In ordered mode (the default) event timestamps must be non-decreasing;
+    with ``disorder_bound=D`` (watermark mode) a push may lag its stream's
+    high-water event timestamp by at most ``D``.  Accepting the tuple would
+    silently lose join results, so it is rejected loudly instead.
+    """
+
+
+class EngineFailedError(SessionError):
+    """The underlying engine has failed (memory overflow) and the session
+    no longer accepts pushes.
+
+    Raised by ``push`` — once for the push that triggered the failure
+    (which was fully processed) and for every push thereafter (which are
+    not ingested at all); ``session.metrics.failure_reason`` has details.
+    """
+
+
+@dataclass
+class _Activation:
+    """One installed lifetime of a query: (query, arrival-seq interval].
+
+    ``from_seq`` is the number of tuples pushed before the query was added
+    (exclusive bound); ``to_seq`` the count at removal (inclusive bound),
+    or ``None`` while still installed.
+    """
+
+    query: Query
+    from_seq: int
+    to_seq: Optional[int] = None
+
+    def contains(self, seq: int) -> bool:
+        return seq > self.from_seq and (self.to_seq is None or seq <= self.to_seq)
+
+
+@dataclass
+class QueryCheck:
+    """Per-query outcome of :meth:`JoinSession.verify`."""
+
+    name: str
+    ok: bool
+    expected: int
+    produced: int
+    diff: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a full-session oracle check (all queries ever installed)."""
+
+    checks: Dict[str, QueryCheck] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks.values())
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.checks):
+            c = self.checks[name]
+            status = "OK" if c.ok else f"MISMATCH ({c.diff})"
+            lines.append(f"{name}: {status} ({c.expected} results)")
+        return "\n".join(lines) if lines else "no queries to verify"
+
+
+class _SessionRuntime(RewirableRuntime):
+    """Rewirable runtime that fans results out to session subscribers."""
+
+    def __init__(self, topology, windows, config, listeners):
+        super().__init__(topology, windows, config)
+        self._listeners: Dict[str, List[Callable]] = listeners
+
+    def _emit(self, query: str, result: StreamTuple, completion_ts: float) -> None:
+        super()._emit(query, result, completion_ts)
+        for callback in self._listeners.get(query, ()):
+            callback(result)
+
+
+class JoinSession:
+    """Live multi-query stream-join service over one shared plan.
+
+    Parameters
+    ----------
+    window:
+        Default per-relation window length (seconds of event time); override
+        per relation with :meth:`with_window`.
+    solver:
+        ILP backend: ``"auto"`` (exact, degrading to the greedy planner for
+        cyclic query shapes), ``"own"``, ``"scipy"``, or ``"greedy"``.
+    default_rate:
+        Arrival rate assumed for relations with neither a declared rate nor
+        observed traffic (only relevant before the first replan).
+    default_selectivity:
+        Catalog default for predicates with neither declared nor observed
+        selectivity.
+    disorder_bound:
+        ``None`` requires timestamp-ordered pushes; a bound ``D`` switches
+        to watermark mode (pushes may lag each stream's high water by ≤ D).
+    parallelism:
+        Default store parallelism (ignored when ``optimizer_config`` is
+        given).
+    optimizer_config / runtime_config:
+        Full-control overrides for the ILP construction and engine knobs.
+    record_streams:
+        Keep the pushed tuple history for :meth:`verify` (disable for
+        long-running production sessions).
+    warmup:
+        Defer the first plan until this many tuples were pushed, so the
+        initial plan already uses *observed* statistics (0 plans at the
+        first push).
+    """
+
+    def __init__(
+        self,
+        window: float = 10.0,
+        solver: str = "auto",
+        *,
+        default_rate: float = 10.0,
+        default_selectivity: float = 0.01,
+        disorder_bound: Optional[float] = None,
+        parallelism: int = 1,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        record_streams: bool = True,
+        warmup: int = 0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self.solver = solver
+        self.default_rate = float(default_rate)
+        self.default_selectivity = float(default_selectivity)
+        self.record_streams = record_streams
+        self.warmup = int(warmup)
+        self._optimizer_config = optimizer_config or OptimizerConfig(
+            cluster=ClusterConfig(default_parallelism=parallelism)
+        )
+        if runtime_config is not None:
+            if runtime_config.mode != "logical":
+                raise ValueError(
+                    "JoinSession drives the engine through the push API, "
+                    "which requires logical mode"
+                )
+            if (
+                disorder_bound is not None
+                and runtime_config.disorder_bound != disorder_bound
+            ):
+                raise ValueError(
+                    "disorder_bound given both directly and via runtime_config"
+                )
+            self._runtime_config = runtime_config
+        else:
+            self._runtime_config = RuntimeConfig(
+                mode="logical", disorder_bound=disorder_bound
+            )
+
+        # query lifecycle
+        self._queries: Dict[str, Query] = {}
+        self._lifecycle: Dict[str, List[_Activation]] = {}
+        self._registered: frozenset = frozenset()
+
+        # declared statistics (always win over observed values)
+        self._declared_rates: Dict[str, float] = {}
+        self._declared_windows: Dict[str, float] = {}
+        self._declared_selectivities: Dict[JoinPredicate, float] = {}
+
+        # observed statistics (one session-long "epoch")
+        self._stats = EpochStatistics(epoch=0)
+        self._first_ts: Optional[float] = None
+        self._last_ts = float("-inf")
+        self._stream_high: Dict[str, float] = {}
+
+        # ingestion state
+        self._pushed = 0
+        self._seq_of: Dict[Tuple[str, float], int] = {}
+        self._history: Dict[str, List[StreamTuple]] = {}
+        self._pending: List[StreamTuple] = []
+        #: relation -> push counts at which its input store's state was
+        #: *released* by a rewire (query expiry); the oracle must not expect
+        #: results that would need tuples stored before such a drop
+        self._drops: Dict[str, List[int]] = {}
+        #: two pushes of one relation shared an event timestamp — the
+        #: (relation, ts) -> seq map is then ambiguous (see verify())
+        self._ambiguous_ts = False
+
+        # execution state
+        self._listeners: Dict[str, List[Callable]] = {}
+        self._cursors: Dict[str, int] = {}
+        self._runtime: Optional[_SessionRuntime] = None
+        self._plan: Optional[SharedPlan] = None
+        self._catalog: Optional[StatisticsCatalog] = None
+
+    # ------------------------------------------------------------------
+    # fluent builders (all return self)
+    # ------------------------------------------------------------------
+    def with_rate(self, relation: str, rate: float) -> "JoinSession":
+        """Declare an arrival rate, overriding observed measurements."""
+        if rate <= 0:
+            raise ValueError(f"rate of {relation!r} must be positive")
+        self._declared_rates[relation] = float(rate)
+        return self
+
+    def with_window(self, relation: str, window: float) -> "JoinSession":
+        """Declare a per-relation window, overriding the session default.
+
+        Windows are part of the join *semantics*, so they freeze once the
+        runtime exists: results already emitted under the old window could
+        never be reconciled with the oracle (changing cost statistics via
+        :meth:`with_rate` / :meth:`with_selectivity` stays allowed anytime).
+        """
+        if window <= 0:
+            raise ValueError(f"window of {relation!r} must be positive")
+        if self._runtime is not None:
+            raise SessionError(
+                "windows are fixed once the session is running; declare "
+                "with_window() before the first plan (or use warmup)"
+            )
+        self._declared_windows[relation] = float(window)
+        return self
+
+    def with_selectivity(
+        self, predicate: Union[JoinPredicate, str], selectivity: float
+    ) -> "JoinSession":
+        """Declare a join selectivity, overriding observed measurements."""
+        if not 0 < selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        self._declared_selectivities[as_predicate(predicate)] = float(selectivity)
+        return self
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def add_query(
+        self, query: Union[Query, str], *equalities: str
+    ) -> "JoinSession":
+        """Install a query — before or *after* tuples have flowed.
+
+        Accepts a prebuilt :class:`~repro.core.query.Query` or the
+        :meth:`Query.of` sugar: ``add_query("q1", "R.a=S.a", "S.b=T.b")``.
+        A disconnected join graph raises
+        :class:`~repro.core.query.CrossProductError`; a name that is already
+        installed raises :class:`DuplicateQueryError`; per-query window
+        overrides are not supported (declare per-relation windows with
+        :meth:`with_window`).  On a live session the shared plan is
+        re-optimized immediately and the topology rewired with state
+        migration; the query only sees tuples pushed from now on (plus the
+        windowed state of shared stores, via backfill).
+        """
+        if isinstance(query, Query):
+            if equalities:
+                raise ValueError(
+                    "pass either a Query object or name + equality strings"
+                )
+        else:
+            query = Query.of(str(query), *equalities)
+        if query.windows:
+            raise SessionError(
+                f"query {query.name!r} carries per-query window overrides, "
+                f"which JoinSession does not support — the runtime and the "
+                f"verification oracle use one window per relation; declare "
+                f"them with with_window() instead"
+            )
+        if query.name in self._queries:
+            raise DuplicateQueryError(
+                f"query {query.name!r} is already installed; remove it first "
+                f"or pick a distinct name"
+            )
+        self._end_warmup()
+        self._queries[query.name] = query
+        activations = self._lifecycle.setdefault(query.name, [])
+        activations.append(_Activation(query=query, from_seq=self._pushed))
+        self._recompute_registered()
+        try:
+            self._replan()
+        except Exception:
+            # transactional: a failed solve must not leave a half-installed
+            # query accepting pushes the running topology silently drops
+            del self._queries[query.name]
+            activations.pop()
+            if not activations:
+                del self._lifecycle[query.name]
+            self._recompute_registered()
+            raise
+        return self
+
+    def remove_query(self, name: str) -> "JoinSession":
+        """Uninstall a query; its produced results stay readable.
+
+        Raises :class:`UnknownQueryError` for names not currently installed.
+        Stores serving only this query release their state at the rewire
+        (Section VI.B refcounting); shared stores are untouched.
+        """
+        if name not in self._queries:
+            raise UnknownQueryError(
+                f"query {name!r} is not installed; active queries: "
+                f"{sorted(self._queries)}"
+            )
+        self._end_warmup()
+        query = self._queries.pop(name)
+        activation = self._lifecycle[name][-1]
+        activation.to_seq = self._pushed
+        self._recompute_registered()
+        try:
+            if self._queries:
+                self._replan()
+            elif self._runtime is not None:
+                # dormant: keep the runtime (results + windowed state)
+                # alive; the next add_query rewires it in place
+                self._runtime.flush()
+        except Exception:
+            # transactional: a failed solve must not leave the query half
+            # removed while the old topology keeps answering it
+            self._queries[name] = query
+            activation.to_seq = None
+            self._recompute_registered()
+            raise
+        return self
+
+    def _recompute_registered(self) -> None:
+        self._registered = frozenset(
+            rel for q in self._queries.values() for rel in q.relations
+        )
+
+    @property
+    def queries(self) -> Dict[str, Query]:
+        """Currently installed queries by name (copy)."""
+        return dict(self._queries)
+
+    @property
+    def relations(self) -> frozenset:
+        """Relations registered by the installed queries."""
+        return self._registered
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def push(
+        self, relation: str, values: Mapping[str, object], ts: float
+    ) -> "JoinSession":
+        """Push one input tuple (unqualified attribute names) at event time
+        ``ts``.  See :class:`UnknownRelationError` / :class:`LateTupleError`
+        for the validation contract."""
+        self._check_relation(relation)
+        self._ingest(input_tuple(relation, float(ts), values))
+        return self
+
+    def push_batch(
+        self,
+        items: Iterable[Union[StreamTuple, Tuple[str, Mapping[str, object], float]]],
+    ) -> "JoinSession":
+        """Push many tuples in arrival order.
+
+        Items are either prebuilt input :class:`StreamTuple`\\ s (the
+        adapter path — see :mod:`repro.streams.adapters`) or
+        ``(relation, values, ts)`` triples.
+        """
+        for item in items:
+            if isinstance(item, StreamTuple):
+                if item.width != 1:
+                    raise SessionError(
+                        f"can only push raw input tuples, got a {item.width}-way "
+                        f"intermediate {item!r}"
+                    )
+                self._check_relation(item.trigger)
+                self._ingest(item)
+            else:
+                relation, values, ts = item
+                self.push(relation, values, ts)
+        return self
+
+    def _check_relation(self, relation: str) -> None:
+        if relation not in self._registered:
+            raise UnknownRelationError(
+                f"relation {relation!r} is not read by any installed query; "
+                f"registered relations: {sorted(self._registered)}"
+            )
+
+    def _ingest(self, tup: StreamTuple) -> None:
+        """Validate arrival order, deliver, then record the accepted tuple.
+
+        The arrival-order contract is *owned by the runtime*
+        (:meth:`TopologyRuntime.process`); its rejection is translated into
+        :class:`LateTupleError` before any session state is touched.  Only
+        the warmup path (no runtime yet) checks the same contract
+        session-side against the buffered prefix.  Buffered tuples are
+        tracked for *statistics* immediately (the warmup plan needs them)
+        but committed to the verification history only as the drain
+        processes them, so history always equals what the engine ingested
+        — even if the drain fails partway.
+        """
+        ts = tup.trigger_ts
+        if self._runtime is None:
+            self._validate_warmup_order(tup.trigger, ts)
+            self._track_order(tup.trigger, ts)
+            self._stats.observe(tup)
+            self._pending.append(tup)
+            if self._pushed + len(self._pending) >= self.warmup:
+                self._start()
+        else:
+            metrics = self._runtime.metrics
+            if metrics.failed:
+                # process() would silently drop the tuple; a facade that
+                # rejects every other bad push loudly must not go quiet here
+                raise EngineFailedError(
+                    f"the engine has failed ({metrics.failure_reason}); "
+                    f"the session no longer accepts pushes"
+                )
+            try:
+                self._runtime.process(tup)
+            except ValueError as exc:
+                raise LateTupleError(str(exc)) from exc
+            self._record(tup)
+            if metrics.failed:
+                # this push was fully processed (and recorded) but tipped
+                # the engine over the limit — surface it immediately
+                raise EngineFailedError(
+                    f"the engine failed processing this push "
+                    f"({metrics.failure_reason})"
+                )
+
+    def _validate_warmup_order(self, relation: str, ts: float) -> None:
+        try:
+            validate_arrival(
+                relation,
+                ts,
+                self._last_ts,
+                self._stream_high,
+                self._runtime_config.disorder_bound,
+            )
+        except ValueError as exc:
+            raise LateTupleError(str(exc)) from exc
+
+    def _record(self, tup: StreamTuple) -> None:
+        """Full bookkeeping for a tuple the live runtime just ingested."""
+        self._stats.observe(tup)
+        self._commit(tup)
+
+    def _commit(self, tup: StreamTuple) -> None:
+        """Count + oracle bookkeeping for an engine-ingested tuple (the
+        drain path observed statistics at buffer time already)."""
+        ts = tup.trigger_ts
+        self._pushed += 1
+        if self.record_streams:
+            # the oracle's inputs: the tuple history and the arrival seq of
+            # each (relation, ts) — both grow with the stream, which is why
+            # production sessions turn record_streams off
+            key = (tup.trigger, ts)
+            if key in self._seq_of:
+                self._ambiguous_ts = True
+            self._seq_of[key] = self._pushed
+            self._history.setdefault(tup.trigger, []).append(tup)
+        self._track_order(tup.trigger, ts)
+
+    def _track_order(self, relation: str, ts: float) -> None:
+        if self._first_ts is None:
+            self._first_ts = ts
+        self._last_ts = max(self._last_ts, ts)
+        high = self._stream_high.get(relation)
+        if high is None or ts > high:
+            self._stream_high[relation] = ts
+
+    def flush(self) -> "JoinSession":
+        """Run any deferred micro-batch cascade to completion."""
+        if self._runtime is not None:
+            self._runtime.flush()
+        return self
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[StreamTuple]:
+        """All results produced so far for ``name`` (flushes first).
+
+        Works for removed queries too — their outputs stay readable for the
+        session's lifetime."""
+        self._check_known(name)
+        if self._runtime is None:
+            return []
+        self._runtime.flush()
+        return list(self._runtime.outputs.get(name, []))
+
+    def take(self, name: str) -> List[StreamTuple]:
+        """Results produced since the last :meth:`take` (an iterator-style
+        cursor per query; flushes first).  Only the new tail is copied, so
+        polling stays linear over a session's lifetime."""
+        self._check_known(name)
+        if self._runtime is None:
+            return []
+        self._runtime.flush()
+        out = self._runtime.outputs.get(name, [])
+        cursor = self._cursors.get(name, 0)
+        self._cursors[name] = len(out)
+        return out[cursor:]
+
+    def subscribe(self, name: str, callback: Callable[[StreamTuple], None]) -> "JoinSession":
+        """Invoke ``callback(result)`` for every result of query ``name``.
+
+        Callbacks fire when cascades execute, which micro-batching may defer
+        until the next relation switch or :meth:`flush`.
+        """
+        self._check_known(name)
+        self._listeners.setdefault(name, []).append(callback)
+        return self
+
+    def _check_known(self, name: str) -> None:
+        if name not in self._lifecycle:
+            raise UnknownQueryError(
+                f"query {name!r} was never installed in this session; "
+                f"known queries: {sorted(self._lifecycle)}"
+            )
+
+    # ------------------------------------------------------------------
+    # planning / rewiring
+    # ------------------------------------------------------------------
+    def start(self) -> "JoinSession":
+        """Force planning now (otherwise the first push triggers it)."""
+        if not self._queries:
+            raise SessionError("cannot start a session with no queries")
+        if self._runtime is None:
+            self._start()
+        return self
+
+    def _end_warmup(self) -> None:
+        """Query churn ends a warmup early: the buffered prefix must run
+        under the *pre-churn* query set, or activation intervals would lie
+        (a query removed mid-warmup would lose its results, one added
+        mid-warmup would claim tuples pushed before its arrival)."""
+        if self._runtime is None and self._pending:
+            self._start()
+
+    def _start(self) -> None:
+        if not self._queries:
+            return
+        plan, catalog, topology = self._optimize()
+        self._runtime = _SessionRuntime(
+            topology,
+            self._windows_map(),
+            self._runtime_config,
+            self._listeners,
+        )
+        self._plan, self._catalog = plan, catalog
+        pending, self._pending = self._pending, []
+        for tup in pending:
+            self._runtime.process(tup)
+            # commit per processed tuple so the verification history equals
+            # exactly what the engine ingested, even if the drain dies here
+            self._commit(tup)
+            if self._runtime.metrics.failed:
+                # the documented loud-failure contract holds for buffered
+                # pushes too: the warmup-ending call must not return as if
+                # the whole prefix were ingested
+                raise EngineFailedError(
+                    f"the engine failed draining the warmup buffer "
+                    f"({self._runtime.metrics.failure_reason})"
+                )
+
+    def _replan(self) -> None:
+        """Re-optimize the shared plan and rewire the live runtime."""
+        if self._runtime is None:
+            return
+        self._runtime.flush()
+        old = self._runtime.topology
+        plan, catalog, topology = self._optimize()
+        now = self._last_ts if self._last_ts != float("-inf") else 0.0
+        record = self._runtime.install(
+            topology, now=now, windows=self._windows_map()
+        )
+        # introspection state only after a successful install, so a failed
+        # replan never reports a plan that is not actually running
+        self._plan, self._catalog = plan, catalog
+        # dropped *input* stores lose their windowed tuples for good (MIR
+        # stores are re-derivable via backfill); remember the cut so the
+        # verification oracle stops expecting results that would need them
+        for store_id in record.removed_stores:
+            if old.stores[store_id].mir.is_input:
+                self._drops.setdefault(store_id, []).append(self._pushed)
+
+    def _optimize(self) -> Tuple[SharedPlan, StatisticsCatalog, Topology]:
+        queries = [self._queries[name] for name in sorted(self._queries)]
+        catalog = self._build_catalog(queries)
+        solver = choose_solver(queries, self.solver)
+        optimizer = MultiQueryOptimizer(catalog, self._optimizer_config, solver=solver)
+        result = optimizer.optimize(queries)
+        topology = build_topology(result.plan, catalog, self._optimizer_config.cluster)
+        return result.plan, catalog, topology
+
+    def _build_catalog(self, queries: Sequence[Query]) -> StatisticsCatalog:
+        """Catalog = defaults, then observed statistics, then declared
+        overrides — the single estimator is :meth:`EpochStatistics.fold_into`
+        (the session is one long epoch of elapsed event time)."""
+        base = StatisticsCatalog(
+            default_selectivity=self.default_selectivity,
+            default_window=self.window,
+        )
+        relations = sorted({r for q in queries for r in q.relations})
+        for rel in relations:
+            base.with_rate(rel, self.default_rate)
+            base.with_window(rel, self._window_of(rel))
+        elapsed = None
+        if self._first_ts is not None and self._last_ts > self._first_ts:
+            elapsed = self._last_ts - self._first_ts
+        catalog = (
+            self._stats.fold_into(base, queries, elapsed) if elapsed else base
+        )
+        for rel in relations:
+            rate = self._declared_rates.get(rel)
+            if rate is not None:
+                catalog.with_rate(rel, rate)
+        for pred, sel in self._declared_selectivities.items():
+            catalog.with_selectivity(pred, sel)
+        return catalog
+
+    def _window_of(self, relation: str) -> float:
+        return self._declared_windows.get(relation, self.window)
+
+    def _windows_map(self) -> Dict[str, float]:
+        return {rel: self._window_of(rel) for rel in sorted(self._registered)}
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self, raise_on_mismatch: bool = False) -> VerificationReport:
+        """Check every query ever installed against the brute-force oracle.
+
+        For each activation of each query the reference join is computed
+        over the recorded input history and *restricted to the activation's
+        arrival interval*: a result is expected iff its last-arriving
+        component (max arrival sequence over the components) was pushed
+        while the query was installed — and iff every component was still
+        *stored* at that point (a rewire that released an input store drops
+        its windowed tuples for good; results needing them are not
+        expected, matching :meth:`add_query`'s documented semantics).
+        Assumes per-relation event
+        timestamps are distinct (the synthetic generators guarantee this);
+        duplicate ``(relation, ts)`` pushes make the seq lookup ambiguous.
+        A warmup still buffering is drained first (the comparison needs the
+        runtime's results, so verification ends the warmup early).
+        """
+        if not self.record_streams:
+            raise SessionError(
+                "verify() needs the input history; construct the session "
+                "with record_streams=True"
+            )
+        if self._ambiguous_ts and (
+            self._drops
+            or any(
+                act.from_seq > 0 or act.to_seq is not None
+                for acts in self._lifecycle.values()
+                for act in acts
+            )
+        ):
+            # seq lookups are by (relation, event ts); duplicates make the
+            # interval/drop restriction silently wrong — refuse loudly.
+            # Without churn every activation covers all seqs, so duplicate
+            # timestamps are harmless and verification proceeds.
+            raise SessionError(
+                "two pushes of one relation shared an event timestamp, so "
+                "the arrival-seq oracle cannot attribute results to "
+                "add/remove intervals; verify() needs distinct per-relation "
+                "timestamps when the query set changes mid-stream"
+            )
+        self._end_warmup()
+        self.flush()
+        report = VerificationReport()
+        # the reference join is the expensive part; activations of the same
+        # query (remove + re-add churn) share one computation and only
+        # re-filter by their arrival interval
+        reference_cache: Dict[Query, List[Tuple[Tuple, int, tuple]]] = {}
+        for name, activations in self._lifecycle.items():
+            expected = set()
+            for act in activations:
+                keyed = reference_cache.get(act.query)
+                if keyed is None:
+                    windows = {
+                        rel: self._window_of(rel) for rel in act.query.relations
+                    }
+                    keyed = []
+                    for res in reference_join(act.query, self._history, windows):
+                        comps = tuple(
+                            (rel, self._seq_of.get((rel, ts), 0))
+                            for rel, ts in res.timestamps.items()
+                        )
+                        keyed.append(
+                            (res.key(), max(c for _, c in comps), comps)
+                        )
+                    reference_cache[act.query] = keyed
+                for key, seq, comps in keyed:
+                    if act.contains(seq) and self._components_stored(comps, seq):
+                        expected.add(key)
+            produced = result_keys(
+                self._runtime.outputs.get(name, []) if self._runtime else []
+            )
+            ok = expected == produced
+            report.checks[name] = QueryCheck(
+                name=name,
+                ok=ok,
+                expected=len(expected),
+                produced=len(produced),
+                diff="" if ok else describe_result_diff(expected, produced),
+            )
+        if raise_on_mismatch and not report.ok:
+            raise AssertionError(
+                "session diverged from the reference:\n" + report.describe()
+            )
+        return report
+
+    def _components_stored(self, comps: tuple, trigger_seq: int) -> bool:
+        """True iff every component was still in its store at the trigger.
+
+        A component pushed at seq ``c`` is gone for a result triggered at
+        seq ``s`` iff its relation's input store was released at some drop
+        point ``d`` with ``c <= d < s``.
+        """
+        if not self._drops:
+            return True
+        for rel, c in comps:
+            for d in self._drops.get(rel, ()):
+                if c <= d < trigger_seq:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> Optional[SharedPlan]:
+        """The most recently installed shared plan (None before planning)."""
+        return self._plan
+
+    @property
+    def topology(self) -> Optional[Topology]:
+        return self._runtime.topology if self._runtime is not None else None
+
+    @property
+    def catalog(self) -> Optional[StatisticsCatalog]:
+        """The catalog the current plan was optimized against."""
+        return self._catalog
+
+    @property
+    def metrics(self) -> Optional[EngineMetrics]:
+        return self._runtime.metrics if self._runtime is not None else None
+
+    @property
+    def rewires(self) -> List[SwitchRecord]:
+        """Topology switches installed by online add/remove.
+
+        The initial deployment is not a rewire (nothing to migrate), so a
+        session that never churned has an empty log.
+        """
+        return list(self._runtime.switches) if self._runtime is not None else []
+
+    @property
+    def pushed(self) -> int:
+        """Number of tuples pushed so far (including a buffering warmup)."""
+        return self._pushed + len(self._pending)
+
+    def stored_tuples(self) -> int:
+        """Live tuples currently held across all store tasks."""
+        return (
+            self._runtime.stored_tuples_total() if self._runtime is not None else 0
+        )
+
+    def describe(self) -> str:
+        """Human-readable snapshot: plan objective, topology, traffic."""
+        lines = [
+            f"JoinSession: {len(self._queries)} queries "
+            f"{sorted(self._queries)}, {self._pushed} tuples pushed"
+        ]
+        if self._plan is not None:
+            lines.append(f"plan objective: {self._plan.objective:g}")
+            lines.append(self._plan.describe())
+        if self.topology is not None:
+            lines.append(self.topology.describe())
+        return "\n".join(lines)

@@ -1,6 +1,8 @@
 """Synthetic data streams: generic generators, the TPC-H-shaped workload of
-Section VII.A, and the random ILP workloads of Section VII.C."""
+Section VII.A, the random ILP workloads of Section VII.C, and push adapters
+feeding live :class:`repro.JoinSession` objects."""
 
+from .adapters import generate_into, replay
 from .generators import (
     StreamSpec,
     bounded_delay_feed,
@@ -26,11 +28,13 @@ __all__ = [
     "TPCH_RELATIONS",
     "bounded_delay_feed",
     "five_query_workload",
+    "generate_into",
     "generate_streams",
     "make_environment",
     "merge_streams",
     "partnered_streams",
     "random_queries",
+    "replay",
     "shifting_domain",
     "ten_query_workload",
     "tpch_catalog",

@@ -1,0 +1,71 @@
+"""Feed adapters: drive a :class:`repro.JoinSession` from stream sources.
+
+With the session facade, the synthetic feed machinery of this package
+becomes a set of *adapters over the push API* — instead of pre-generating a
+list and handing it to ``TopologyRuntime.run``, the same generators pump
+tuples into a live session one arrival at a time:
+
+* :func:`replay` — push any arrival-ordered iterable of input tuples,
+* :func:`generate_into` — generate :class:`StreamSpec` streams and push
+  them, optionally through a bounded-delay shuffle matching the session's
+  ``disorder_bound`` (watermark mode); returns the per-relation recorded
+  streams so callers can run their own oracle checks.
+
+The session validates every push (unknown relations, arrival-order
+violations), so an adapter feeding a mid-mutation session surfaces exactly
+the same typed errors as hand-written pushes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine.tuples import StreamTuple
+from .generators import StreamSpec, bounded_delay_feed, generate_streams
+
+__all__ = ["generate_into", "replay"]
+
+
+def replay(session, feed: Iterable[StreamTuple]) -> int:
+    """Push an arrival-ordered feed of input tuples; returns the count.
+
+    ``session`` is a :class:`repro.JoinSession` (typed loosely to keep this
+    module import-light).  Tuples whose relation is not registered raise
+    :class:`repro.session.UnknownRelationError` — filter the feed on
+    ``session.relations`` when replaying across a ``remove_query``.
+    """
+    count = 0
+
+    def counted():
+        nonlocal count
+        for tup in feed:
+            count += 1
+            yield tup
+
+    session.push_batch(counted())
+    return count
+
+
+def generate_into(
+    session,
+    specs: Iterable[StreamSpec],
+    duration: float,
+    seed: int = 0,
+    max_delay: Optional[float] = None,
+) -> Dict[str, List[StreamTuple]]:
+    """Generate synthetic streams and push them into a live session.
+
+    ``max_delay`` shuffles arrivals by bounded per-tuple delays
+    (:func:`bounded_delay_feed`) — use it with a session constructed with
+    ``disorder_bound >= max_delay``.  Returns the per-relation streams
+    (event-time ordered) for external verification; ``session.verify()``
+    needs no external state at all.
+    """
+    streams, inputs = generate_streams(specs, duration, seed=seed)
+    feed = (
+        bounded_delay_feed(streams, max_delay, seed=seed)
+        if max_delay is not None
+        else inputs
+    )
+    replay(session, feed)
+    return streams

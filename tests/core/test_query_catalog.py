@@ -214,3 +214,22 @@ class TestCatalog:
         clone.with_rate("R", 2.0)
         assert cat.rate("R") == 1.0
         assert clone.rate("R") == 2.0
+
+    def test_every_with_builder_returns_self(self):
+        """All with_* builders chain fluently (return the same instance)."""
+        cat = StatisticsCatalog()
+        relation = StreamRelation("R", ("a",), 5.0)
+        assert cat.with_relation(relation, rate=1.0) is cat
+        assert cat.with_rate("S", 2.0) is cat
+        assert cat.with_window("S", 3.0) is cat
+        assert cat.with_selectivity(JoinPredicate.of("R.a", "S.a"), 0.1) is cat
+
+    def test_with_selectivity_accepts_equality_string(self):
+        cat = StatisticsCatalog().with_selectivity("S.b=T.b", 0.015)
+        assert cat.selectivity(JoinPredicate.of("S.b", "T.b")) == 0.015
+        # orientation-invariant, like the JoinPredicate form
+        assert cat.selectivity(JoinPredicate.of("T.b", "S.b")) == 0.015
+
+    def test_with_selectivity_rejects_malformed_string(self):
+        with pytest.raises(ValueError, match="equality"):
+            StatisticsCatalog().with_selectivity("S.b~T.b", 0.1)

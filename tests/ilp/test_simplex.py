@@ -96,6 +96,19 @@ class TestEdgeCases:
         assert res.objective == pytest.approx(1.0)
 
 
+def _well_scaled(lo: float, hi: float):
+    """Floats in [lo, hi] with near-zero values snapped to exactly 0.
+
+    Coefficients spanning many orders of magnitude (e.g. 1e-12 next to
+    1e-8) put the LP outside both solvers' conditioning guarantees: HiGHS
+    presolve may drop a tiny coefficient our exact pivoting keeps, and the
+    two defensible answers differ by more than any fixed tolerance.
+    """
+    return st.floats(lo, hi, allow_nan=False, width=32).map(
+        lambda v: 0.0 if abs(v) < 1e-3 else v
+    )
+
+
 @st.composite
 def random_lp(draw):
     """Bounded-feasible random LP: box [0, ub] with <= constraints, b >= 0.
@@ -105,11 +118,9 @@ def random_lp(draw):
     """
     n = draw(st.integers(2, 6))
     m = draw(st.integers(1, 6))
-    c = draw(
-        st.lists(st.floats(-5, 5, allow_nan=False, width=32), min_size=n, max_size=n)
-    )
+    c = draw(st.lists(_well_scaled(-5, 5), min_size=n, max_size=n))
     a = [
-        draw(st.lists(st.floats(-3, 3, allow_nan=False, width=32), min_size=n, max_size=n))
+        draw(st.lists(_well_scaled(-3, 3), min_size=n, max_size=n))
         for _ in range(m)
     ]
     b = draw(

@@ -10,6 +10,7 @@ import pytest
 from repro.experiments.fig7 import ratio_summary, run_fig7, workload_for
 from repro.experiments.fig8 import run_fig8a, run_fig8b
 from repro.experiments.fig9 import run_point, sweep_num_queries
+from repro.experiments.live import run_live_session
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.shapes import REGIMES, SHAPES, run_shapes, shape_query
 
@@ -75,6 +76,28 @@ class TestShapesDriver:
             by_shape.setdefault(row.shape, {})[row.regime] = row.results
         for shape, counts in by_shape.items():
             assert counts["uniform"] == counts["ooo"], shape
+
+
+class TestLiveSessionDriver:
+    def test_churn_phases_verified_and_state_preserved(self):
+        phases = run_live_session(
+            rate=8.0, duration=9.0, domain=6, window=2.0, seed=1
+        )
+        assert [p.phase for p in phases] == [
+            "base: q1+q2", "+q3 (shares T,U)", "-q1 (R released)"
+        ]
+        assert all(p.verified for p in phases)
+        assert phases[0].preserved == 0  # no rewire yet
+        assert phases[1].preserved > 0  # q3's arrival migrated shared state
+        assert phases[1].queries == 3 and phases[2].queries == 2
+        assert phases[-1].results > phases[0].results
+
+    def test_churn_under_watermark_mode(self):
+        phases = run_live_session(
+            rate=8.0, duration=9.0, domain=6, window=2.0, seed=2,
+            disorder_bound=0.75,
+        )
+        assert all(p.verified for p in phases)
 
 
 class TestFig9Driver:

@@ -1,0 +1,81 @@
+"""Public API surface contract.
+
+``repro.__all__`` is the documented surface: every exported name must be
+importable, must resolve to a real object, and must appear in
+``docs/api.md`` — a new export without documentation fails the build (the
+CI smoke job runs this file explicitly, and it is part of tier-1).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+API_DOC = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+def test_no_undocumented_exports():
+    """Every name in repro.__all__ appears in docs/api.md (word match)."""
+    assert API_DOC.exists(), "docs/api.md is the documented public surface"
+    text = API_DOC.read_text(encoding="utf-8")
+    undocumented = [
+        name
+        for name in repro.__all__
+        if not re.search(rf"(?<![A-Za-z0-9_]){re.escape(name)}(?![A-Za-z0-9_])", text)
+    ]
+    assert not undocumented, (
+        f"exports missing from docs/api.md: {undocumented}; document them "
+        f"(or drop them from repro.__all__)"
+    )
+
+
+def test_facade_is_exported_first_class():
+    from repro import JoinSession  # noqa: F401 — the documented entry point
+
+    assert repro.__all__[0] == "JoinSession"
+
+
+def test_session_exceptions_are_catchable_as_session_error():
+    from repro import (
+        DuplicateQueryError,
+        LateTupleError,
+        SessionError,
+        UnknownQueryError,
+        UnknownRelationError,
+    )
+
+    for exc in (
+        UnknownRelationError,
+        UnknownQueryError,
+        DuplicateQueryError,
+        LateTupleError,
+    ):
+        assert issubclass(exc, SessionError)
+    # lookup-style errors double as KeyError, order errors as ValueError
+    assert issubclass(UnknownRelationError, KeyError)
+    assert issubclass(UnknownQueryError, KeyError)
+    assert issubclass(DuplicateQueryError, ValueError)
+    assert issubclass(LateTupleError, ValueError)
+    # ...without inheriting KeyError's repr-quoting __str__, which would
+    # mangle the documented human-readable messages
+    assert str(UnknownRelationError("plain message")) == "plain message"
+    assert str(UnknownQueryError("plain message")) == "plain message"
+
+
+def test_old_wiring_path_still_importable():
+    """The pre-facade five-step pipeline remains public (docs/api.md table)."""
+    from repro import (  # noqa: F401
+        MultiQueryOptimizer,
+        Query,
+        StatisticsCatalog,
+        TopologyRuntime,
+        build_topology,
+        reference_join,
+    )
