@@ -6,33 +6,53 @@
 * :func:`reference_join` — brute-force oracle used by the test suite.
 """
 
+from .columnar import ColumnarContainer
 from .epochs import AdaptiveRuntime
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
 from .reference import describe_result_diff, reference_join, result_keys
 from .rewiring import RewirableRuntime, SwitchRecord
 from .routing import stable_hash, target_tasks
-from .runtime import MemoryOverflowError, RuntimeConfig, TopologyRuntime
+from .runtime import (
+    LateArrivalError,
+    MemoryOverflowError,
+    RuntimeConfig,
+    TopologyRuntime,
+)
 from .statistics import EpochStatistics
-from .stores import Container, StoreTask, orient_predicates, probe_batch, probe_container
+from .stores import (
+    STORE_BACKENDS,
+    Container,
+    StoreBackend,
+    StoreTask,
+    make_backend,
+    orient_predicates,
+    probe_batch,
+    probe_container,
+)
 from .tuples import StreamTuple, input_tuple, intern_attr
 
 __all__ = [
     "AdaptiveRuntime",
     "CLASH_PROFILE",
+    "ColumnarContainer",
     "Container",
     "EngineMetrics",
     "EngineProfile",
     "EpochStatistics",
     "FLINK_PROFILE",
+    "LateArrivalError",
     "MemoryOverflowError",
+    "STORE_BACKENDS",
     "RewirableRuntime",
     "RuntimeConfig",
     "STORM_PROFILE",
+    "StoreBackend",
     "StoreTask",
     "StreamTuple",
     "SwitchRecord",
     "TopologyRuntime",
+    "make_backend",
     "describe_result_diff",
     "input_tuple",
     "intern_attr",

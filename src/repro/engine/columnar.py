@@ -1,0 +1,403 @@
+"""Columnar store backend: numpy-vectorized windowed containers.
+
+:class:`ColumnarContainer` is a drop-in alternative to the dict-backed
+:class:`~repro.engine.stores.Container` (both satisfy the
+:class:`~repro.engine.stores.StoreBackend` protocol).  Instead of hash
+indexes over per-tuple ``values`` dicts, it lays state out as numpy arrays
+per (time bucket, attribute):
+
+* **interned key columns** — each join-attribute value is mapped to a
+  small integer *code* through a per-attribute interning dict; equality
+  probes become ``codes == probe_code`` array comparisons resolved with
+  ``np.flatnonzero`` instead of per-tuple predicate evaluation,
+* **timestamp columns** — ``latest_ts`` / ``earliest_ts`` per row back the
+  O(1) uniform-window check; per-relation event-timestamp columns (NaN
+  where a row's lineage lacks the relation) back the general pairwise
+  window mask,
+* **seq column** — the runtime-assigned arrival sequence, so watermark
+  mode's visibility rule is a vectorized comparison too.
+
+Layout and growth policy:
+
+* rows live in coarse ``latest_ts`` buckets (same geometry as the python
+  backend: ``retention / BUCKETS_PER_WINDOW``), each bucket owning its
+  column arrays plus the parallel :class:`StreamTuple` row list used to
+  materialize matches,
+* arrays grow **append-only in chunks** (capacity doubling, never below
+  :data:`MIN_CAPACITY`); an insert writes one scalar per active column,
+* attribute columns are **lazily activated** by the first probe that needs
+  them (``column_builds`` counts the one-off backfills, the analogue of
+  ``Container.index_rebuilds``) and maintained incrementally afterwards,
+* **eviction is bucket-sliced**: whole expired buckets are dropped in one
+  ``del``, only the boundary bucket is compressed (boolean-mask fancy
+  indexing over its columns) — active columns survive every pass, they are
+  never rebuilt from a container scan.
+
+The vectorized probe path lives in :meth:`ColumnarContainer.probe_batch`,
+which :func:`repro.engine.stores.probe_batch` dispatches to whenever the
+stored side is columnar — callers (runtime, session, benchmarks) are
+oblivious to the backend.
+"""
+
+from __future__ import annotations
+
+from math import isinf
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tuples import StreamTuple, intern_attr
+
+__all__ = ["ColumnarContainer", "ColumnBucket", "MIN_CAPACITY"]
+
+#: smallest per-bucket array allocation; doubles as the growth quantum for
+#: tiny buckets so chunked growth never degenerates into per-insert resizes
+MIN_CAPACITY = 64
+
+
+class ColumnBucket:
+    """One ``latest_ts`` slice of a columnar container.
+
+    Owns the row list plus one array per core column (``latest``,
+    ``earliest``, ``seq``, ``width``) and per active attribute/relation
+    column.  Arrays are over-allocated (``size <= capacity``); views are
+    always taken as ``arr[:size]``.
+    """
+
+    __slots__ = (
+        "rows",
+        "size",
+        "capacity",
+        "latest",
+        "earliest",
+        "seq",
+        "width",
+        "codes",
+        "rel_ts",
+    )
+
+    def __init__(self, capacity: int = MIN_CAPACITY) -> None:
+        self.rows: List[StreamTuple] = []
+        self.size = 0
+        self.capacity = capacity
+        self.latest = np.empty(capacity, dtype=np.float64)
+        self.earliest = np.empty(capacity, dtype=np.float64)
+        self.seq = np.empty(capacity, dtype=np.int64)
+        self.width = np.empty(capacity, dtype=np.int64)
+        #: attribute -> int64 code column (lazily activated)
+        self.codes: Dict[str, np.ndarray] = {}
+        #: relation -> float64 event-timestamp column (NaN = not in lineage)
+        self.rel_ts: Dict[str, np.ndarray] = {}
+
+    def _grow(self) -> None:
+        new_capacity = max(self.capacity * 2, MIN_CAPACITY)
+        for name in ("latest", "earliest", "seq", "width"):
+            old = getattr(self, name)
+            fresh = np.empty(new_capacity, dtype=old.dtype)
+            fresh[: self.size] = old[: self.size]
+            setattr(self, name, fresh)
+        for table in (self.codes, self.rel_ts):
+            for key, old in table.items():
+                fresh = np.empty(new_capacity, dtype=old.dtype)
+                fresh[: self.size] = old[: self.size]
+                table[key] = fresh
+        self.capacity = new_capacity
+
+    def compress(self, keep: np.ndarray) -> None:
+        """Keep only the rows selected by the boolean mask ``keep``."""
+        kept = int(np.count_nonzero(keep))
+        for name in ("latest", "earliest", "seq", "width"):
+            arr = getattr(self, name)
+            arr[:kept] = arr[: self.size][keep]
+        for table in (self.codes, self.rel_ts):
+            for key, arr in table.items():
+                arr[:kept] = arr[: self.size][keep]
+        self.rows = [row for row, k in zip(self.rows, keep) if k]
+        self.size = kept
+
+
+class ColumnarContainer:
+    """Numpy-backed tuple container (columnar :class:`StoreBackend`).
+
+    Construction mirrors :class:`~repro.engine.stores.Container`:
+    ``bucket_width`` is the coarse ``latest_ts`` slice (``None`` keeps one
+    bucket, used for infinite retention).
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_bucket_width",
+        "_count",
+        "_value_codes",
+        "_active_attrs",
+        "_active_rels",
+        "column_builds",
+    )
+
+    def __init__(self, bucket_width: Optional[float] = None) -> None:
+        if bucket_width is not None and (bucket_width <= 0 or isinf(bucket_width)):
+            bucket_width = None
+        self._bucket_width = bucket_width
+        self._buckets: Dict[int, ColumnBucket] = {}
+        self._count = 0
+        #: attribute -> {value -> code}; shared by every bucket so a code is
+        #: stable for the container's lifetime (codes of evicted values
+        #: linger — bounded by the distinct values ever seen per attribute)
+        self._value_codes: Dict[str, Dict[object, int]] = {}
+        self._active_attrs: List[str] = []
+        self._active_rels: List[str] = []
+        #: diagnostic: one-off full backfills of lazily activated columns
+        #: (tests assert eviction never forces one, mirroring
+        #: ``Container.index_rebuilds``)
+        self.column_builds = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def iter_tuples(self) -> Iterator[StreamTuple]:
+        """All stored tuples, bucket-ordered then arrival-ordered."""
+        for bucket_id in sorted(self._buckets):
+            yield from self._buckets[bucket_id].rows
+
+    @property
+    def tuples(self) -> List[StreamTuple]:
+        return list(self.iter_tuples())
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _bucket_for(self, latest_ts: float) -> ColumnBucket:
+        width = self._bucket_width
+        bucket_id = 0 if width is None else int(latest_ts // width)
+        bucket = self._buckets.get(bucket_id)
+        if bucket is None:
+            bucket = self._buckets[bucket_id] = ColumnBucket()
+            # fresh buckets carry every already-active column from birth
+            for attr in self._active_attrs:
+                bucket.codes[attr] = np.empty(bucket.capacity, dtype=np.int64)
+            for rel in self._active_rels:
+                bucket.rel_ts[rel] = np.full(
+                    bucket.capacity, np.nan, dtype=np.float64
+                )
+        return bucket
+
+    def _code_of(self, attr: str, value: object) -> int:
+        table = self._value_codes.setdefault(attr, {})
+        code = table.get(value)
+        if code is None:
+            code = table[value] = len(table)
+        return code
+
+    def insert(self, tup: StreamTuple) -> None:
+        bucket = self._bucket_for(tup.latest_ts)
+        if bucket.size >= bucket.capacity:
+            bucket._grow()
+        pos = bucket.size
+        bucket.rows.append(tup)
+        bucket.latest[pos] = tup.latest_ts
+        bucket.earliest[pos] = tup.earliest_ts
+        bucket.seq[pos] = tup.seq
+        bucket.width[pos] = tup.width
+        values = tup.values
+        for attr in self._active_attrs:
+            # None is a joinable value, exactly like the dict backend's
+            # ``index[None]`` entry — it interns to an ordinary code
+            bucket.codes[attr][pos] = self._code_of(attr, values.get(attr))
+        timestamps = tup.timestamps
+        for rel in self._active_rels:
+            ts = timestamps.get(rel)
+            bucket.rel_ts[rel][pos] = np.nan if ts is None else ts
+        new_rels = [rel for rel in timestamps if rel not in bucket.rel_ts]
+        if new_rels:
+            self._activate_relations(new_rels)
+            for rel in new_rels:
+                bucket.rel_ts[rel][pos] = timestamps[rel]
+        bucket.size = pos + 1
+        self._count += 1
+
+    def _activate_relations(self, rels: List[str]) -> None:
+        """First sighting of new lineage relations: add NaN-padded columns.
+
+        Stores are lineage-homogeneous in practice, so this runs once per
+        relation of the store's MIR (at the first insert) and never again.
+        Rows inserted before a relation existed cannot carry it, so the NaN
+        padding is exact, not an approximation.
+        """
+        for rel in rels:
+            self._active_rels.append(rel)
+            for bucket in self._buckets.values():
+                bucket.rel_ts[rel] = np.full(
+                    bucket.capacity, np.nan, dtype=np.float64
+                )
+
+    def ensure_column(self, attr: str) -> None:
+        """Activate (and backfill once) the code column for ``attr``.
+
+        The probe path calls this lazily, exactly like ``Container.index_on``
+        builds a hash index on first use; afterwards inserts maintain the
+        column incrementally and eviction only compresses it.
+        """
+        attr = intern_attr(attr)
+        if attr in self._active_attrs:
+            return
+        self._active_attrs.append(attr)
+        code_of = self._code_of
+        for bucket in self._buckets.values():
+            col = np.empty(bucket.capacity, dtype=np.int64)
+            for pos, row in enumerate(bucket.rows):
+                col[pos] = code_of(attr, row.values.get(attr))
+            bucket.codes[attr] = col
+        self.column_builds += 1
+
+    def evict_older_than(self, horizon: float) -> int:
+        """Drop rows whose latest component is older than ``horizon``.
+
+        Whole expired buckets are dropped; the single boundary bucket is
+        compressed in place.  Returns the summed width of evicted rows.
+        """
+        if not self._count:
+            return 0
+        freed = 0
+        evicted = 0
+        width = self._bucket_width
+        if width is None:
+            boundary = 0
+        else:
+            boundary = int(horizon // width)
+            for bucket_id in [b for b in self._buckets if b < boundary]:
+                bucket = self._buckets.pop(bucket_id)
+                freed += int(np.sum(bucket.width[: bucket.size]))
+                evicted += bucket.size
+        bucket = self._buckets.get(boundary)
+        if bucket is not None and bucket.size:
+            keep = bucket.latest[: bucket.size] >= horizon
+            kept = int(np.count_nonzero(keep))
+            if kept != bucket.size:
+                freed += int(np.sum(bucket.width[: bucket.size][~keep]))
+                evicted += bucket.size - kept
+                if kept:
+                    bucket.compress(keep)
+                else:
+                    del self._buckets[boundary]
+        self._count -= evicted
+        return freed
+
+    # ------------------------------------------------------------------
+    # vectorized probing
+    # ------------------------------------------------------------------
+    def probe_batch(
+        self,
+        probes: Sequence[StreamTuple],
+        oriented: Tuple[Tuple[str, str], ...],
+        windows: Mapping[str, float],
+        uniform_window: Optional[float] = None,
+        seq_visibility: bool = False,
+    ) -> Tuple[List[StreamTuple], int]:
+        """Vectorized join-partner search (semantics of
+        :func:`repro.engine.stores.probe_batch`).
+
+        Per probe and bucket the first predicate is resolved as one
+        ``np.flatnonzero`` over the attribute's code column; remaining
+        predicates, arrival visibility, and the window check narrow the
+        survivor index array with O(survivors) gathered comparisons.
+        ``checked`` counts first-predicate matches (the python backend's
+        index-bucket candidates), or full scans for predicate-free probes.
+        """
+        results: List[StreamTuple] = []
+        checked = 0
+        if not self._count or not probes:
+            return results, checked
+        if oriented:
+            first_probe_attr, first_stored_attr = oriented[0]
+            rest = oriented[1:]
+            self.ensure_column(first_stored_attr)
+            for _, stored_attr in rest:
+                self.ensure_column(stored_attr)
+            first_codes = self._value_codes.get(first_stored_attr, {})
+        buckets = [b for _, b in sorted(self._buckets.items()) if b.size]
+        for probe in probes:
+            probe_values = probe.values
+            if oriented:
+                code = first_codes.get(probe_values.get(first_probe_attr))
+                if code is None:
+                    # value never stored: the python backend's index lookup
+                    # comes back empty too (0 candidates checked)
+                    continue
+                # a *secondary* value never stored still scans the first
+                # column (parity with the python backend, which checks every
+                # first-index candidate); -1 can never equal an interned code
+                rest_codes = [
+                    (
+                        stored_attr,
+                        self._value_codes[stored_attr].get(
+                            probe_values.get(probe_attr), -1
+                        ),
+                    )
+                    for probe_attr, stored_attr in rest
+                ]
+            trigger_ts = probe.trigger_ts
+            probe_seq = probe.seq
+            for bucket in buckets:
+                size = bucket.size
+                if oriented:
+                    idx = np.flatnonzero(bucket.codes[first_stored_attr][:size] == code)
+                    checked += len(idx)
+                    for stored_attr, rcode in rest_codes:
+                        if not len(idx):
+                            break
+                        idx = idx[bucket.codes[stored_attr][idx] == rcode]
+                else:
+                    idx = np.arange(size)
+                    checked += size
+                if not len(idx):
+                    continue
+                if seq_visibility:
+                    idx = idx[bucket.seq[idx] < probe_seq]
+                else:
+                    idx = idx[bucket.latest[idx] < trigger_ts]
+                if not len(idx):
+                    continue
+                if uniform_window is not None:
+                    latest = bucket.latest[idx]
+                    earliest = bucket.earliest[idx]
+                    idx = idx[
+                        (probe.latest_ts - earliest <= uniform_window)
+                        & (latest - probe.earliest_ts <= uniform_window)
+                    ]
+                else:
+                    idx = self._window_mask(probe, bucket, idx, windows)
+                if len(idx):
+                    merge = probe.merge
+                    rows = bucket.rows
+                    results.extend(merge(rows[i]) for i in idx)
+        return results, checked
+
+    def _window_mask(
+        self,
+        probe: StreamTuple,
+        bucket: ColumnBucket,
+        idx: np.ndarray,
+        windows: Mapping[str, float],
+    ) -> np.ndarray:
+        """Per-pair window check over the survivor rows (non-uniform case).
+
+        For each (probe relation, stored relation) pair the bound is
+        ``min(window_a, window_b)``; rows whose lineage lacks the stored
+        relation carry NaN, and ``~(|Δ| > bound)`` passes NaN rows — the
+        pair simply does not exist for them, matching
+        :meth:`StreamTuple.within_windows`.
+        """
+        inf = float("inf")
+        for rel_a, ts_a in probe.timestamps.items():
+            w_a = windows.get(rel_a, inf)
+            for rel_b, col in bucket.rel_ts.items():
+                bound = min(w_a, windows.get(rel_b, inf))
+                if isinf(bound):
+                    continue
+                idx = idx[~(np.abs(ts_a - col[idx]) > bound)]
+                if not len(idx):
+                    return idx
+        return idx

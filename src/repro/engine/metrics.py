@@ -43,6 +43,9 @@ class EngineMetrics:
     preserved_tuples: int = 0
     #: intermediate tuples seeded into freshly introduced MIR stores
     backfilled_tuples: int = 0
+    #: stragglers discarded by the session's ``on_late="drop"`` policy
+    #: (never counted in ``inputs_ingested`` — they were not processed)
+    late_dropped: int = 0
     first_arrival: Optional[float] = None
     last_completion: float = 0.0
     failed: bool = False

@@ -117,7 +117,12 @@ class RewirableRuntime(TopologyRuntime):
         for store_id in diff.added:
             spec = topology.stores[store_id]
             self.tasks[store_id] = [
-                StoreTask(store_id=store_id, task_index=i, retention=spec.retention)
+                StoreTask(
+                    store_id=store_id,
+                    task_index=i,
+                    retention=spec.retention,
+                    backend=self.config.store_backend,
+                )
                 for i in range(spec.parallelism)
             ]
 
@@ -188,14 +193,26 @@ class RewirableRuntime(TopologyRuntime):
         return record
 
     def _repartition(self, spec: StoreSpec) -> None:
-        """Redistribute a store's state under a new partitioning scheme."""
+        """Redistribute a store's state under a new partitioning scheme.
+
+        This is the only rewire path that *materializes* columnar state back
+        into rows: tuples were placed by the old hash function, so they must
+        be re-routed individually.  Surviving stores whose partitioning is
+        unchanged keep their container objects — columnar arrays migrate
+        across installs without any row conversion.
+        """
         old_tasks = self.tasks.get(spec.store_id, [])
         tuples: List[StreamTuple] = []
         for task in old_tasks:
             for container in task.containers.values():
                 tuples.extend(container.iter_tuples())
         self.tasks[spec.store_id] = [
-            StoreTask(store_id=spec.store_id, task_index=i, retention=spec.retention)
+            StoreTask(
+                store_id=spec.store_id,
+                task_index=i,
+                retention=spec.retention,
+                backend=self.config.store_backend,
+            )
             for i in range(spec.parallelism)
         ]
         for tup in tuples:

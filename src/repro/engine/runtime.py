@@ -69,10 +69,11 @@ from ..core.topology import ProbeRule, StoreRule, Topology
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, EngineProfile
 from .routing import stable_hash, target_tasks
-from .stores import StoreTask, orient_predicates, probe_batch
+from .stores import check_backend_name, StoreTask, orient_predicates, probe_batch
 from .tuples import StreamTuple
 
 __all__ = [
+    "LateArrivalError",
     "RuntimeConfig",
     "TopologyRuntime",
     "MemoryOverflowError",
@@ -82,6 +83,16 @@ __all__ = [
 
 class MemoryOverflowError(RuntimeError):
     """A worker exceeded its memory budget (stored state + queued tuples)."""
+
+
+class LateArrivalError(ValueError):
+    """An input violated the arrival-order contract (see
+    :func:`validate_arrival`).
+
+    A distinct type so callers with a drop-straggler policy (the session's
+    ``on_late="drop"``) can suppress exactly this rejection without
+    swallowing unrelated ``ValueError``\\ s from the processing cascade.
+    """
 
 
 def validate_arrival(
@@ -97,16 +108,16 @@ def validate_arrival(
     non-decreasing.  Watermark mode: a tuple may lag its *own* stream's
     high-water event timestamp by at most ``bound`` — a straggler beyond
     that would silently lose results, so it is rejected loudly instead.
-    Raises :class:`ValueError`; callers update their order state only
-    after this passes.
+    Raises :class:`LateArrivalError` (a ``ValueError``); callers update
+    their order state only after this passes.
     """
     if bound is None:
         if ts < last_ts:
-            raise ValueError("inputs must be sorted by timestamp")
+            raise LateArrivalError("inputs must be sorted by timestamp")
     else:
         high = stream_high.get(trigger)
         if high is not None and ts < high - bound:
-            raise ValueError(
+            raise LateArrivalError(
                 f"tuple of {trigger!r} at τ={ts:g} arrived "
                 f"{high - ts:g} behind the stream high water "
                 f"{high:g}, exceeding disorder_bound={bound:g}"
@@ -135,10 +146,16 @@ class RuntimeConfig:
     #: lags each stream's high water by at most this bound (watermark mode);
     #: None requires timestamp-sorted inputs
     disorder_bound: Optional[float] = None
+    #: container implementation behind every store task: "python" keeps the
+    #: dict/hash-index :class:`~repro.engine.stores.Container`, "columnar"
+    #: selects the numpy-vectorized
+    #: :class:`~repro.engine.columnar.ColumnarContainer`
+    store_backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.mode not in ("logical", "timed"):
             raise ValueError(f"unknown runtime mode {self.mode!r}")
+        check_backend_name(self.store_backend)
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.disorder_bound is not None:
@@ -212,6 +229,7 @@ class TopologyRuntime:
                         store_id=store_id,
                         task_index=i,
                         retention=spec.retention,
+                        backend=self.config.store_backend,
                     )
                     for i in range(spec.parallelism)
                 ]

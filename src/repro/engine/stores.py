@@ -14,23 +14,105 @@ tuples from the existing hash indexes in place — the indexes survive the
 pass instead of being rebuilt from a full container scan.  The seed
 implementation re-scanned every tuple and discarded all indexes on every
 pass, which made long runs quadratic in the stored-state size.
+
+The container contract is explicit: :class:`StoreBackend` is the protocol
+every container implementation satisfies, :func:`make_backend` the
+configuration-name factory.  :class:`Container` (this module) is the
+dict/hash-index implementation; the numpy-vectorized columnar layout lives
+in :mod:`repro.engine.columnar` and is selected with
+``RuntimeConfig(store_backend="columnar")``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import isinf
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..core.predicates import JoinPredicate
 from .tuples import StreamTuple, intern_attr
 
-__all__ = ["Container", "StoreTask", "probe_container", "probe_batch", "orient_predicates"]
+__all__ = [
+    "Container",
+    "STORE_BACKENDS",
+    "StoreBackend",
+    "StoreTask",
+    "make_backend",
+    "probe_container",
+    "probe_batch",
+    "orient_predicates",
+]
 
 #: number of coarse time slices a retention window is divided into; eviction
 #: drops whole slices, so larger values evict in finer (cheaper) steps at the
 #: price of more bucket bookkeeping.
 BUCKETS_PER_WINDOW = 16
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The container contract every store backend implements.
+
+    This is the (previously implicit) interface the runtime, the rewiring
+    subsystem, and the probe path rely on.  Two implementations ship:
+
+    * :class:`Container` — per-attribute hash indexes over tuple dicts
+      (``store_backend="python"``, the default),
+    * :class:`~repro.engine.columnar.ColumnarContainer` — numpy columns per
+      (time bucket, attribute) with vectorized probes
+      (``store_backend="columnar"``).
+
+    Probing is an either/or obligation the protocol cannot express: a
+    backend must *either* expose its own ``probe_batch(probes, oriented,
+    windows, uniform_window, seq_visibility)`` method — :func:`probe_batch`
+    dispatches to it when present, which is how the columnar backend routes
+    probes through its vectorized path without the runtime knowing about
+    backends at all — *or* implement ``index_on(attr)`` (a hash index like
+    :meth:`Container.index_on`), which the generic fallback path requires.
+    """
+
+    def insert(self, tup: StreamTuple) -> None: ...
+
+    def iter_tuples(self) -> Iterator[StreamTuple]: ...
+
+    @property
+    def tuples(self) -> List[StreamTuple]: ...
+
+    def evict_older_than(self, horizon: float) -> int: ...
+
+    def __len__(self) -> int: ...
+
+
+def check_backend_name(name: str) -> str:
+    """Validate a backend configuration name against the registry."""
+    if name not in STORE_BACKENDS:
+        raise ValueError(
+            f"unknown store backend {name!r}; "
+            f"expected one of {sorted(STORE_BACKENDS)}"
+        )
+    return name
+
+
+def make_backend(name: str, bucket_width: Optional[float]) -> "StoreBackend":
+    """Instantiate a store backend by configuration name.
+
+    The single registry behind every backend-name surface
+    (:data:`STORE_BACKENDS`): ``RuntimeConfig`` validation, task
+    construction, and the benchmark/experiment CLIs all consume it, so a
+    new backend registers exactly once.
+    """
+    return STORE_BACKENDS[check_backend_name(name)](bucket_width=bucket_width)
 
 
 class Container:
@@ -210,6 +292,18 @@ class Container:
                         del index[value]
 
 
+#: backend-name registry (name -> container class); ``"python"`` is the
+#: dict/hash-index :class:`Container`, ``"columnar"`` the numpy-vectorized
+#: :class:`~repro.engine.columnar.ColumnarContainer` (imported here, below
+#: ``Container``, to register it — columnar depends only on ``tuples``)
+from .columnar import ColumnarContainer  # noqa: E402  (needs Container first)
+
+STORE_BACKENDS: Dict[str, Callable[..., "StoreBackend"]] = {
+    "python": Container,
+    "columnar": ColumnarContainer,
+}
+
+
 @dataclass
 class StoreTask:
     """One partition (worker task) of a store."""
@@ -217,19 +311,21 @@ class StoreTask:
     store_id: str
     task_index: int
     retention: float
-    containers: Dict[int, Container] = field(default_factory=dict)
+    containers: Dict[int, StoreBackend] = field(default_factory=dict)
     #: timed-mode queueing state: when this server is next idle
     next_free: float = 0.0
+    #: container implementation for this task's epochs ("python"|"columnar")
+    backend: str = "python"
 
     def _bucket_width(self) -> Optional[float]:
         if isinf(self.retention) or self.retention <= 0:
             return None
         return self.retention / BUCKETS_PER_WINDOW
 
-    def container(self, epoch: int) -> Container:
+    def container(self, epoch: int) -> StoreBackend:
         cont = self.containers.get(epoch)
         if cont is None:
-            cont = Container(bucket_width=self._bucket_width())
+            cont = make_backend(self.backend, self._bucket_width())
             self.containers[epoch] = cont
         return cont
 
@@ -288,7 +384,7 @@ def orient_predicates(
 
 
 def probe_batch(
-    container: Container,
+    container: StoreBackend,
     probes: Sequence[StreamTuple],
     oriented: Tuple[Tuple[str, str], ...],
     windows: Dict[str, float],
@@ -302,6 +398,10 @@ def probe_batch(
     probe order, candidates checked)``.  Matches the local probe handling
     of Algorithm 3.
 
+    Backends that implement their own ``probe_batch`` (the columnar
+    backend's vectorized path) are dispatched to directly — same
+    semantics, different candidate-filtering machinery.
+
     ``seq_visibility`` selects the arrival-visibility rule.  The default
     (event-time) rule assumes timestamp order doubles as arrival order and
     admits partners with ``latest_ts`` strictly before the probe's trigger.
@@ -313,6 +413,9 @@ def probe_batch(
     the cascade of its last-arriving component); windows remain event-time
     based in both modes.
     """
+    vectorized = getattr(container, "probe_batch", None)
+    if vectorized is not None:
+        return vectorized(probes, oriented, windows, uniform_window, seq_visibility)
     results: List[StreamTuple] = []
     checked = 0
     if not oriented:
@@ -369,7 +472,7 @@ def probe_batch(
 
 
 def probe_container(
-    container: Container,
+    container: StoreBackend,
     probe: StreamTuple,
     predicates: Tuple[JoinPredicate, ...],
     windows: Dict[str, float],

@@ -129,10 +129,15 @@ def run_shapes(
     verify: bool = True,
     zipf_alpha: float = 0.9,
     solver: Optional[str] = None,
+    store_backend: str = "python",
 ) -> List[ShapeRow]:
     """Run the shape × regime grid; ``solver=None`` picks per shape —
     exact scipy/HiGHS for acyclic queries, the greedy planner for cycles
-    (a ring's exact MILP explodes combinatorially with its length)."""
+    (a ring's exact MILP explodes combinatorially with its length).
+    ``store_backend`` selects the container implementation behind every
+    store task (``"python"`` or ``"columnar"``); every cell is still
+    verified against the reference, so the grid doubles as an end-to-end
+    backend-parity sweep."""
     rows: List[ShapeRow] = []
     for shape in shapes:
         # The topology depends only on the shape: regimes vary the value
@@ -161,11 +166,15 @@ def run_shapes(
             if regime == "ooo":
                 feed = bounded_delay_feed(streams, disorder_bound, seed=seed + 1)
                 runtime_config = RuntimeConfig(
-                    mode="logical", disorder_bound=disorder_bound
+                    mode="logical",
+                    disorder_bound=disorder_bound,
+                    store_backend=store_backend,
                 )
             else:
                 feed = inputs
-                runtime_config = RuntimeConfig(mode="logical")
+                runtime_config = RuntimeConfig(
+                    mode="logical", store_backend=store_backend
+                )
             runtime = TopologyRuntime(topology, windows, runtime_config)
             start = time.perf_counter()
             metrics = runtime.run(feed)
@@ -198,8 +207,23 @@ def run_shapes(
 
 
 def main() -> None:
-    rows = run_shapes()
-    print("# workload breadth: shape x arrival regime (logical mode)")
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    from ..engine.stores import STORE_BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        choices=sorted(STORE_BACKENDS),
+        default="python",
+        help="store container implementation behind every task",
+    )
+    args = parser.parse_args()
+    rows = run_shapes(store_backend=args.backend)
+    print(
+        "# workload breadth: shape x arrival regime "
+        f"(logical mode, {args.backend} backend)"
+    )
     print(
         format_table(
             ["shape", "regime", "inputs", "results", "probe cost",

@@ -66,7 +66,7 @@ from .core.topology import Topology, build_topology
 from .engine.metrics import EngineMetrics
 from .engine.reference import describe_result_diff, reference_join, result_keys
 from .engine.rewiring import RewirableRuntime, SwitchRecord
-from .engine.runtime import RuntimeConfig, validate_arrival
+from .engine.runtime import LateArrivalError, RuntimeConfig, validate_arrival
 from .engine.statistics import EpochStatistics
 from .engine.tuples import StreamTuple, input_tuple
 
@@ -126,6 +126,15 @@ class EngineFailedError(SessionError):
     (which was fully processed) and for every push thereafter (which are
     not ingested at all); ``session.metrics.failure_reason`` has details.
     """
+
+
+def _check_on_late(policy: str) -> str:
+    """Validate a late-tuple policy name (session default or per-push)."""
+    if policy not in ("raise", "drop"):
+        raise ValueError(
+            f"unknown late-tuple policy {policy!r}; expected 'raise' or 'drop'"
+        )
+    return policy
 
 
 @dataclass
@@ -211,6 +220,17 @@ class JoinSession:
     disorder_bound:
         ``None`` requires timestamp-ordered pushes; a bound ``D`` switches
         to watermark mode (pushes may lag each stream's high water by ≤ D).
+    on_late:
+        Default policy for pushes that violate the arrival-order contract:
+        ``"raise"`` (the default) raises :class:`LateTupleError`,
+        ``"drop"`` silently discards the tuple and counts it in
+        ``metrics.late_dropped`` (the production-style dead-letter policy;
+        dropped tuples are invisible to results, statistics, and the
+        verification oracle).  Overridable per push.
+    store_backend:
+        Container implementation behind every store task: ``"python"``
+        (dict/hash-index) or ``"columnar"`` (numpy-vectorized, see
+        docs/engine.md).  Ignored when ``runtime_config`` is given.
     parallelism:
         Default store parallelism (ignored when ``optimizer_config`` is
         given).
@@ -233,6 +253,8 @@ class JoinSession:
         default_rate: float = 10.0,
         default_selectivity: float = 0.01,
         disorder_bound: Optional[float] = None,
+        on_late: str = "raise",
+        store_backend: Optional[str] = None,
         parallelism: int = 1,
         optimizer_config: Optional[OptimizerConfig] = None,
         runtime_config: Optional[RuntimeConfig] = None,
@@ -247,6 +269,7 @@ class JoinSession:
         self.default_selectivity = float(default_selectivity)
         self.record_streams = record_streams
         self.warmup = int(warmup)
+        self.on_late = _check_on_late(on_late)
         self._optimizer_config = optimizer_config or OptimizerConfig(
             cluster=ClusterConfig(default_parallelism=parallelism)
         )
@@ -263,11 +286,23 @@ class JoinSession:
                 raise ValueError(
                     "disorder_bound given both directly and via runtime_config"
                 )
+            if (
+                store_backend is not None
+                and runtime_config.store_backend != store_backend
+            ):
+                raise ValueError(
+                    "store_backend given both directly and via runtime_config"
+                )
             self._runtime_config = runtime_config
         else:
             self._runtime_config = RuntimeConfig(
-                mode="logical", disorder_bound=disorder_bound
+                mode="logical",
+                disorder_bound=disorder_bound,
+                store_backend=store_backend or "python",
             )
+        #: stragglers dropped while the warmup buffer was still filling
+        #: (folded into ``metrics.late_dropped`` once the runtime exists)
+        self._warmup_late_dropped = 0
 
         # query lifecycle
         self._queries: Dict[str, Query] = {}
@@ -450,24 +485,31 @@ class JoinSession:
     # ingestion
     # ------------------------------------------------------------------
     def push(
-        self, relation: str, values: Mapping[str, object], ts: float
+        self,
+        relation: str,
+        values: Mapping[str, object],
+        ts: float,
+        on_late: Optional[str] = None,
     ) -> "JoinSession":
         """Push one input tuple (unqualified attribute names) at event time
         ``ts``.  See :class:`UnknownRelationError` / :class:`LateTupleError`
-        for the validation contract."""
+        for the validation contract; ``on_late`` overrides the session's
+        late-tuple policy for this push (``"raise"`` or ``"drop"``)."""
         self._check_relation(relation)
-        self._ingest(input_tuple(relation, float(ts), values))
+        self._ingest(input_tuple(relation, float(ts), values), on_late)
         return self
 
     def push_batch(
         self,
         items: Iterable[Union[StreamTuple, Tuple[str, Mapping[str, object], float]]],
+        on_late: Optional[str] = None,
     ) -> "JoinSession":
         """Push many tuples in arrival order.
 
         Items are either prebuilt input :class:`StreamTuple`\\ s (the
         adapter path — see :mod:`repro.streams.adapters`) or
-        ``(relation, values, ts)`` triples.
+        ``(relation, values, ts)`` triples; ``on_late`` overrides the
+        session's late-tuple policy for the whole batch.
         """
         for item in items:
             if isinstance(item, StreamTuple):
@@ -477,10 +519,10 @@ class JoinSession:
                         f"intermediate {item!r}"
                     )
                 self._check_relation(item.trigger)
-                self._ingest(item)
+                self._ingest(item, on_late)
             else:
                 relation, values, ts = item
-                self.push(relation, values, ts)
+                self.push(relation, values, ts, on_late)
         return self
 
     def _check_relation(self, relation: str) -> None:
@@ -490,22 +532,30 @@ class JoinSession:
                 f"registered relations: {sorted(self._registered)}"
             )
 
-    def _ingest(self, tup: StreamTuple) -> None:
+    def _ingest(self, tup: StreamTuple, on_late: Optional[str] = None) -> None:
         """Validate arrival order, deliver, then record the accepted tuple.
 
         The arrival-order contract is *owned by the runtime*
         (:meth:`TopologyRuntime.process`); its rejection is translated into
-        :class:`LateTupleError` before any session state is touched.  Only
-        the warmup path (no runtime yet) checks the same contract
-        session-side against the buffered prefix.  Buffered tuples are
-        tracked for *statistics* immediately (the warmup plan needs them)
-        but committed to the verification history only as the drain
-        processes them, so history always equals what the engine ingested
-        — even if the drain fails partway.
+        :class:`LateTupleError` — or, under the ``"drop"`` late-tuple
+        policy, counted in ``metrics.late_dropped`` and discarded — before
+        any session state is touched.  Only the warmup path (no runtime
+        yet) checks the same contract session-side against the buffered
+        prefix.  Buffered tuples are tracked for *statistics* immediately
+        (the warmup plan needs them) but committed to the verification
+        history only as the drain processes them, so history always equals
+        what the engine ingested — even if the drain fails partway.
         """
+        policy = self.on_late if on_late is None else _check_on_late(on_late)
         ts = tup.trigger_ts
         if self._runtime is None:
-            self._validate_warmup_order(tup.trigger, ts)
+            try:
+                self._validate_warmup_order(tup.trigger, ts)
+            except LateTupleError:
+                if policy == "drop":
+                    self._warmup_late_dropped += 1
+                    return
+                raise
             self._track_order(tup.trigger, ts)
             self._stats.observe(tup)
             self._pending.append(tup)
@@ -522,7 +572,14 @@ class JoinSession:
                 )
             try:
                 self._runtime.process(tup)
-            except ValueError as exc:
+            except LateArrivalError as exc:
+                # only the arrival-order rejection is translated/suppressed
+                # — it precedes any state mutation, so a rejected tuple
+                # leaves both engine and session untouched; any other error
+                # from the cascade propagates unswallowed
+                if policy == "drop":
+                    metrics.late_dropped += 1
+                    return
                 raise LateTupleError(str(exc)) from exc
             self._record(tup)
             if metrics.failed:
@@ -653,6 +710,8 @@ class JoinSession:
             self._runtime_config,
             self._listeners,
         )
+        # stragglers dropped while warming up belong to the same counter
+        self._runtime.metrics.late_dropped += self._warmup_late_dropped
         self._plan, self._catalog = plan, catalog
         pending, self._pending = self._pending, []
         for tup in pending:

@@ -1,0 +1,231 @@
+"""Columnar store backend: layout, growth, eviction, and probe parity.
+
+Unit-level contract of :class:`repro.engine.columnar.ColumnarContainer`:
+it must be observationally identical to the dict-backed ``Container``
+(same results, same ``checked`` bookkeeping, same freed widths) while its
+internal column machinery follows the documented policy — lazy one-off
+column activation, chunked append-only growth, bucket-sliced eviction
+that compresses instead of rebuilding.  Differential coverage at the
+engine level lives in ``test_differential.py`` (backend axis).
+"""
+
+import random
+
+import pytest
+
+from repro.core.predicates import JoinPredicate
+from repro.engine.columnar import MIN_CAPACITY, ColumnarContainer
+from repro.engine.stores import (
+    Container,
+    StoreBackend,
+    StoreTask,
+    make_backend,
+    orient_predicates,
+    probe_batch,
+)
+from repro.engine.tuples import input_tuple
+
+
+def s_tuple(ts, a, b=0, seq=0):
+    tup = input_tuple("S", ts, {"a": a, "b": b})
+    tup.seq = seq
+    return tup
+
+
+PREDS = (JoinPredicate.of("R.a", "S.a"),)
+PREDS2 = (JoinPredicate.of("R.a", "S.a"), JoinPredicate.of("R.b", "S.b"))
+ORIENTED = orient_predicates(PREDS, {"R"})
+ORIENTED2 = orient_predicates(PREDS2, {"R"})
+WINDOWS = {"R": 10.0, "S": 10.0}
+
+
+class TestBackendPlumbing:
+    def test_make_backend_names(self):
+        assert isinstance(make_backend("python", 1.0), Container)
+        assert isinstance(make_backend("columnar", 1.0), ColumnarContainer)
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_backend("rust", 1.0)
+
+    def test_both_backends_satisfy_the_protocol(self):
+        assert isinstance(Container(), StoreBackend)
+        assert isinstance(ColumnarContainer(), StoreBackend)
+
+    def test_store_task_creates_configured_backend(self):
+        task = StoreTask(
+            store_id="S", task_index=0, retention=8.0, backend="columnar"
+        )
+        assert isinstance(task.container(0), ColumnarContainer)
+        # default stays the python container
+        task2 = StoreTask(store_id="S", task_index=0, retention=8.0)
+        assert isinstance(task2.container(0), Container)
+
+    def test_probe_batch_dispatches_to_vectorized_path(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        cont.insert(s_tuple(1.0, a=7))
+        probe = input_tuple("R", 2.0, {"a": 7})
+        results, checked = probe_batch(cont, (probe,), ORIENTED, WINDOWS)
+        assert len(results) == 1 and checked == 1
+        assert results[0].values["S.a"] == 7
+
+
+class TestColumnarLayout:
+    def test_len_and_iteration_order(self):
+        cont = ColumnarContainer(bucket_width=2.0)
+        for ts in (5.0, 1.0, 3.0, 1.5):
+            cont.insert(s_tuple(ts, a=int(ts)))
+        assert len(cont) == 4
+        # bucket-ordered, then arrival-ordered within a bucket
+        assert [t.latest_ts for t in cont.iter_tuples()] == [1.0, 1.5, 3.0, 5.0]
+        assert len(cont.tuples) == 4
+
+    def test_chunked_growth_beyond_min_capacity(self):
+        cont = ColumnarContainer(bucket_width=None)  # single bucket
+        n = MIN_CAPACITY * 3 + 5
+        for i in range(n):
+            cont.insert(s_tuple(float(i) / n, a=i % 7))
+        assert len(cont) == n
+        probe = input_tuple("R", 2.0, {"a": 3})
+        results, _ = probe_batch(cont, (probe,), ORIENTED, WINDOWS, 10.0)
+        assert len(results) == len([i for i in range(n) if i % 7 == 3])
+
+    def test_column_built_once_and_maintained_incrementally(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        for i in range(20):
+            cont.insert(s_tuple(i * 0.5, a=i % 3))
+        probe = input_tuple("R", 50.0, {"a": 1})
+        probe_batch(cont, (probe,), ORIENTED, {"R": 100.0, "S": 100.0}, 100.0)
+        assert cont.column_builds == 1
+        # inserts after activation maintain the column without a rebuild,
+        # including into freshly created buckets
+        cont.insert(s_tuple(30.0, a=1))
+        results, _ = probe_batch(
+            cont, (probe,), ORIENTED, {"R": 100.0, "S": 100.0}, 100.0
+        )
+        assert cont.column_builds == 1
+        assert sum(1 for r in results if r.timestamps["S"] == 30.0) == 1
+
+    def test_none_values_join_like_the_dict_backend(self):
+        """``None`` is an ordinary joinable key (``index[None]`` parity)."""
+        py, col = Container(bucket_width=1.0), ColumnarContainer(bucket_width=1.0)
+        for cont in (py, col):
+            cont.insert(s_tuple(1.0, a=None))
+            cont.insert(s_tuple(1.2, a=5))
+        probe = input_tuple("R", 2.0, {"a": None})
+        for cont in (py, col):
+            results, _ = probe_batch(cont, (probe,), ORIENTED, WINDOWS, 10.0)
+            assert len(results) == 1
+            assert results[0].timestamps["S"] == 1.0
+
+
+class TestColumnarEviction:
+    def test_eviction_parity_with_python_backend(self):
+        py, col = Container(bucket_width=2.0), ColumnarContainer(bucket_width=2.0)
+        for ts in [0.5, 1.0, 2.5, 3.0, 4.9, 5.0, 7.7]:
+            py.insert(s_tuple(ts, a=1))
+            col.insert(s_tuple(ts, a=1))
+        assert py.evict_older_than(5.0) == col.evict_older_than(5.0)
+        assert len(py) == len(col) == 2
+        assert [t.latest_ts for t in col.iter_tuples()] == [5.0, 7.7]
+        # idempotent
+        assert col.evict_older_than(5.0) == 0
+
+    def test_eviction_never_rebuilds_columns(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        for i in range(40):
+            cont.insert(s_tuple(i * 0.25, a=i % 4))
+        probe = input_tuple("R", 100.0, {"a": 2})
+        wide = {"R": 100.0, "S": 100.0}
+        probe_batch(cont, (probe,), ORIENTED, wide, 100.0)
+        assert cont.column_builds == 1
+        for horizon in (2.0, 4.5, 6.25, 9.0):
+            cont.evict_older_than(horizon)
+            results, _ = probe_batch(cont, (probe,), ORIENTED, wide, 100.0)
+            expected = [
+                i for i in range(40) if i % 4 == 2 and i * 0.25 >= horizon
+            ]
+            assert len(results) == len(expected)
+        assert cont.column_builds == 1
+
+    def test_boundary_bucket_is_compressed_not_dropped(self):
+        cont = ColumnarContainer(bucket_width=2.0)
+        for ts in (4.1, 4.9, 5.3, 5.9):  # all in bucket 2
+            cont.insert(s_tuple(ts, a=9))
+        freed = cont.evict_older_than(5.0)
+        assert freed == 2 and len(cont) == 2
+        assert [t.latest_ts for t in cont.iter_tuples()] == [5.3, 5.9]
+
+    def test_empty_container_and_infinite_retention(self):
+        cont = ColumnarContainer(bucket_width=None)
+        assert cont.evict_older_than(10.0) == 0
+        cont.insert(s_tuple(1.0, a=1))
+        assert cont.evict_older_than(0.5) == 0
+        assert cont.evict_older_than(2.0) == 1
+        assert len(cont) == 0
+
+
+class TestColumnarProbing:
+    def test_seq_visibility_vectorized(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        # later event time but earlier arrival: visible under seq rule only
+        cont.insert(s_tuple(5.0, a=1, seq=1))
+        cont.insert(s_tuple(2.0, a=1, seq=3))
+        probe = input_tuple("R", 3.0, {"a": 1})
+        probe.seq = 2
+        ordered, _ = probe_batch(cont, (probe,), ORIENTED, WINDOWS, 10.0, False)
+        assert [r.timestamps["S"] for r in ordered] == [2.0]
+        watermark, _ = probe_batch(cont, (probe,), ORIENTED, WINDOWS, 10.0, True)
+        assert [r.timestamps["S"] for r in watermark] == [5.0]
+
+    def test_non_uniform_windows_use_min_pairwise_bound(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        cont.insert(s_tuple(0.0, a=1))
+        probe = input_tuple("R", 4.0, {"a": 1})
+        # min(R=10, S=3) = 3 < 4: excluded; min(R=10, S=5) = 5 > 4: match
+        tight, _ = probe_batch(cont, (probe,), ORIENTED, {"R": 10.0, "S": 3.0})
+        assert tight == []
+        loose, _ = probe_batch(cont, (probe,), ORIENTED, {"R": 10.0, "S": 5.0})
+        assert len(loose) == 1
+
+    def test_predicate_free_probe_scans_everything(self):
+        cont = ColumnarContainer(bucket_width=1.0)
+        for ts in (1.0, 1.5, 2.0):
+            cont.insert(s_tuple(ts, a=ts))
+        probe = input_tuple("R", 3.0, {"x": 0})
+        results, checked = probe_batch(cont, (probe,), (), WINDOWS, 10.0)
+        assert len(results) == 3 and checked == 3
+
+    @pytest.mark.parametrize("uniform", [None, 4.0])
+    @pytest.mark.parametrize("seq_visibility", [False, True])
+    def test_randomized_parity_with_python_backend(self, uniform, seq_visibility):
+        """1.5k random inserts/probes/evictions: identical results, checked
+        counts, and freed widths across both backends."""
+        rng = random.Random(17 * (2 if uniform else 1) + int(seq_visibility))
+        py, col = Container(bucket_width=1.0), ColumnarContainer(bucket_width=1.0)
+        windows = {"R": 4.0, "S": 4.0} if uniform else {"R": 5.0, "S": 3.0}
+        t = 0.0
+        for i in range(1500):
+            t += rng.random() * 0.05
+            tup = s_tuple(t, a=rng.randrange(5), b=rng.randrange(6), seq=i + 1)
+            py.insert(tup)
+            col.insert(tup)
+            if i % 5 == 0:
+                probe = input_tuple(
+                    "R",
+                    t + rng.random(),
+                    {"a": rng.randrange(5), "b": rng.randrange(6)},
+                )
+                probe.seq = i + 2
+                r1, c1 = probe_batch(
+                    py, (probe,), ORIENTED2, windows, uniform, seq_visibility
+                )
+                r2, c2 = probe_batch(
+                    col, (probe,), ORIENTED2, windows, uniform, seq_visibility
+                )
+                assert sorted(x.key() for x in r1) == sorted(x.key() for x in r2)
+                assert c1 == c2
+            if i % 40 == 39:
+                assert py.evict_older_than(t - 6.0) == col.evict_older_than(t - 6.0)
+                assert len(py) == len(col)
+        assert sorted(x.key() for x in py.iter_tuples()) == sorted(
+            x.key() for x in col.iter_tuples()
+        )

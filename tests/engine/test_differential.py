@@ -20,8 +20,10 @@ Covered axes (≥ 24 seeded workloads each):
 
 plus the cross-product invariances (shape × disorder × batch size ×
 eviction cadence), the unequal-window sharing matrix (the O(1)
-uniform-window shortcut must disengage), and the adaptive runtime's epoch
-boundaries.
+uniform-window shortcut must disengage), the adaptive runtime's epoch
+boundaries, and the **store-backend axis** (python hash-index vs numpy
+columnar containers — identical results *and* identical metric
+bookkeeping, including across a live rewire).
 
 This suite is the regression net for hot-path refactors (batched cascades,
 incremental eviction, orientation caching, seq-based visibility): any
@@ -501,6 +503,167 @@ class TestDifferentialUnequalWindows:
         assert runtime._uniform_window == 3.0
         runtime.run(inputs)
         assert_engine_equals_reference(runtime, queries, streams, windows)
+
+
+class TestDifferentialBackends:
+    """Store-backend axis: python and columnar containers are
+    observationally identical on every seeded workload.
+
+    The columnar backend replaces per-tuple hash-index filtering with
+    numpy column masks (``repro.engine.columnar``); any drift in equality,
+    visibility, window, or eviction semantics shows up as a result-set
+    difference here — across chain/star/cycle shapes, ordered and
+    watermark arrivals, and aggressive eviction cadences.
+    """
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("shape", ["chain", "star", "cycle"])
+    def test_backend_parity_across_shapes(self, backend, seed, shape):
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        solver = "scipy" if shape == "chain" else "greedy"
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver=solver
+        )
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(mode="logical", store_backend=backend),
+        )
+        runtime.run(inputs)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backend_parity_watermark(self, backend, seed):
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        bound = random.Random(seed ^ 0xCC).choice([0.5, 1.0, 2.0])
+        feed = bounded_delay_feed(streams, bound, seed=seed)
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver="greedy"
+        )
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(
+                mode="logical", disorder_bound=bound, store_backend=backend
+            ),
+        )
+        runtime.run(feed)
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    @pytest.mark.parametrize("evict_every", [1, 16])
+    def test_columnar_eviction_boundaries(self, evict_every):
+        """Aggressive watermark-driven eviction on the columnar backend:
+        boundary-bucket compression must never drop in-window partners."""
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(5)
+        )
+        windows = {rel: 1.5 for rel in relations}
+        feed = bounded_delay_feed(streams, 0.5, seed=5)
+        topology = compile_topology(queries, relations, windows, 2, 5)
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(
+                mode="logical",
+                disorder_bound=0.5,
+                evict_every=evict_every,
+                store_backend="columnar",
+            ),
+        )
+        runtime.run(feed)
+        assert runtime.metrics.stored_units < runtime.metrics.peak_stored_units
+        assert_engine_equals_reference(runtime, queries, streams, windows)
+
+    def test_backend_metric_parity(self):
+        """Same workload, both backends: identical probe/comparison/eviction
+        bookkeeping, not just identical result sets."""
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(7)
+        )
+        topology = compile_topology(queries, relations, windows, parallelism, 7)
+        summaries = {}
+        for backend in ("python", "columnar"):
+            runtime = TopologyRuntime(
+                topology,
+                windows,
+                RuntimeConfig(mode="logical", store_backend=backend),
+            )
+            runtime.run(inputs)
+            m = runtime.metrics
+            summaries[backend] = (
+                m.inputs_ingested,
+                m.tuples_sent,
+                m.probes_executed,
+                m.comparisons,
+                m.results_emitted,
+                m.stored_units,
+            )
+        assert summaries["python"] == summaries["columnar"]
+
+    def test_columnar_state_survives_rewire(self):
+        """A live rewire migrates columnar state: surviving stores keep the
+        same ColumnarContainer objects (``preserved_tuples`` > 0), and the
+        post-rewire session still matches the oracle."""
+        from repro import JoinSession
+        from repro.engine.columnar import ColumnarContainer
+        from repro.streams.generators import StreamSpec, generate_streams
+
+        session = JoinSession(
+            window=2.5, solver="scipy", store_backend="columnar"
+        )
+        session.add_query("q1", "R.a=S.a", "S.b=T.b")
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=20.0,
+                attributes={a: uniform_domain(6) for a in ATTRS[rel]},
+            )
+            for rel in ["R", "S", "T", "U"]
+        ]
+        streams, feed = generate_streams(specs, 6.0, seed=11)
+        cut = len(feed) // 2
+        for tup in feed[:cut]:
+            if tup.trigger in session.relations:
+                session.push_batch([tup])
+        session.flush()
+        runtime = session._runtime
+        before = {
+            store_id: runtime.tasks[store_id][0].containers
+            for store_id in ("S", "T")
+        }
+        for containers in before.values():
+            assert all(
+                isinstance(c, ColumnarContainer) for c in containers.values()
+            )
+        assert session.stored_tuples() > 0
+
+        session.add_query("q2", "S.b=T.b", "T.c=U.c")  # shares S and T
+        assert session.metrics.rewires == 1
+        assert session.metrics.preserved_tuples > 0
+        for store_id, containers in before.items():
+            task = runtime.tasks[store_id][0]
+            # same container objects: columnar arrays migrated, not rebuilt
+            assert task.containers is containers
+        # new stores introduced by the rewire are columnar too
+        for tasks in runtime.tasks.values():
+            for task in tasks:
+                assert all(
+                    isinstance(c, ColumnarContainer)
+                    for c in task.containers.values()
+                )
+        for tup in feed[cut:]:
+            if tup.trigger in session.relations:
+                session.push_batch([tup])
+        report = session.verify()
+        assert report.ok, report.describe()
+        assert report.checks["q2"].expected > 0
 
 
 class TestDifferentialAdaptive:

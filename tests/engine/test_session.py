@@ -151,6 +151,133 @@ class TestSessionErrors:
             session.push_batch([result])
 
 
+class TestLateTuplePolicy:
+    """``on_late="drop"``: stragglers are counted, not fatal."""
+
+    def test_session_default_drop_counts_and_continues(self):
+        session = basic_session(on_late="drop")
+        session.push("R", {"a": 1}, ts=5.0)
+        session.push("S", {"a": 1, "b": 1}, ts=4.0)  # late: dropped
+        session.push("S", {"a": 1, "b": 1}, ts=6.0)  # fine
+        assert session.metrics.late_dropped == 1
+        assert session.pushed == 2  # the straggler was never ingested
+
+    def test_per_push_override_beats_session_default(self):
+        session = basic_session()  # default on_late="raise"
+        session.push("R", {"a": 1}, ts=5.0)
+        session.push("S", {"a": 1, "b": 1}, ts=4.0, on_late="drop")
+        assert session.metrics.late_dropped == 1
+        with pytest.raises(LateTupleError):
+            session.push("S", {"a": 1, "b": 1}, ts=4.0)
+        # and the other direction: a drop-default session can raise per push
+        strict = basic_session(on_late="drop")
+        strict.push("R", {"a": 1}, ts=5.0)
+        with pytest.raises(LateTupleError):
+            strict.push("S", {"a": 1, "b": 1}, ts=4.0, on_late="raise")
+
+    def test_watermark_mode_drops_beyond_bound_only(self):
+        session = basic_session(disorder_bound=1.0, on_late="drop")
+        session.push("R", {"a": 1}, ts=5.0)
+        session.push("R", {"a": 2}, ts=4.5)  # within bound: ingested
+        session.push("R", {"a": 3}, ts=3.5)  # beyond bound: dropped
+        assert session.metrics.late_dropped == 1
+        assert session.pushed == 2
+
+    def test_dropped_tuples_invisible_to_results_and_oracle(self):
+        session = basic_session(on_late="drop")
+        session.push("R", {"a": 1}, ts=1.0)
+        session.push("S", {"a": 1, "b": 2}, ts=1.5)
+        session.push("T", {"b": 2, "c": 3}, ts=2.0)
+        # a straggling S partner that *would* complete a second q1 result
+        session.push("S", {"a": 1, "b": 2}, ts=1.2)
+        assert session.metrics.late_dropped == 1
+        assert len(session.results("q1")) == 1
+        report = session.verify()
+        assert report.ok, report.describe()
+
+    def test_warmup_drops_fold_into_metrics(self):
+        session = (
+            JoinSession(window=2.5, solver="scipy", warmup=3, on_late="drop")
+            .add_query("q1", "R.a=S.a", "S.b=T.b")
+        )
+        session.push("R", {"a": 1}, ts=2.0)
+        session.push("R", {"a": 2}, ts=1.0)  # late while buffering: dropped
+        assert session.metrics is None  # still warming up
+        session.push("S", {"a": 1, "b": 1}, ts=2.5)
+        session.push("T", {"b": 1, "c": 1}, ts=3.0)  # warmup complete
+        assert session.metrics is not None
+        assert session.metrics.late_dropped == 1
+        assert session.verify().ok
+
+    def test_push_batch_applies_policy_to_whole_batch(self):
+        session = basic_session()
+        session.push_batch(
+            [
+                ("R", {"a": 1}, 5.0),
+                ("S", {"a": 1, "b": 1}, 4.0),  # late
+                ("T", {"b": 1, "c": 1}, 6.0),
+            ],
+            on_late="drop",
+        )
+        assert session.metrics.late_dropped == 1
+        assert session.pushed == 2
+
+    def test_drop_policy_does_not_swallow_cascade_errors(self):
+        """Only the arrival-order rejection is suppressed: a ValueError
+        raised *inside* the processing cascade (here: a subscriber) must
+        propagate even under on_late="drop", never count as late_dropped."""
+        session = basic_session(on_late="drop")
+
+        def exploding(_result):
+            raise ValueError("subscriber blew up")
+
+        session.subscribe("q1", exploding)
+        session.push("R", {"a": 1}, ts=1.0)
+        session.push("S", {"a": 1, "b": 2}, ts=1.5)
+        with pytest.raises(ValueError, match="subscriber blew up"):
+            # completes the q1 triple -> the cascade emits -> callback raises
+            session.push("T", {"b": 2, "c": 3}, ts=2.0)
+            session.flush()
+        assert session.metrics.late_dropped == 0
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown late-tuple policy"):
+            JoinSession(on_late="side-output")
+        session = basic_session()
+        session.push("R", {"a": 1}, ts=1.0)
+        with pytest.raises(ValueError, match="unknown late-tuple policy"):
+            session.push("R", {"a": 1}, ts=2.0, on_late="ignore")
+
+
+class TestStoreBackendKnob:
+    """`store_backend` threads through to every store task."""
+
+    def test_columnar_session_matches_python_session(self):
+        streams, feed = generate_streams(
+            chain_specs("RST", 15.0, 5), duration=5.0, seed=3
+        )
+        results = {}
+        for backend in ("python", "columnar"):
+            session = JoinSession(
+                window=2.0, solver="scipy", store_backend=backend
+            ).add_query("q1", "R.a=S.a", "S.b=T.b")
+            replay(session, (t for t in feed if t.trigger in session.relations))
+            assert session.verify().ok
+            results[backend] = result_keys(session.results("q1"))
+        assert results["python"] == results["columnar"]
+
+    def test_conflicting_backend_config_rejected(self):
+        with pytest.raises(ValueError, match="store_backend given both"):
+            JoinSession(
+                store_backend="columnar",
+                runtime_config=RuntimeConfig(mode="logical"),
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            JoinSession(store_backend="gpu")
+
+
 class TestSessionBasics:
     def test_matches_manual_wiring(self):
         """The facade produces exactly the result sets of the five-step
