@@ -12,7 +12,14 @@ engine regressions are measurable on their own:
   retention (tens of thousands of live tuples, two-predicate probes with
   rare matches): the regime where the columnar backend's vectorized
   candidate filtering dominates per-tuple evaluation,
-* ``logical`` — an end-to-end logical-mode run of a 3-way join topology.
+* ``logical`` — an end-to-end logical-mode run of a 3-way join topology,
+* ``sharded`` (opt-in via ``--workers N``) — an end-to-end run of a
+  work-dominated two-predicate join through :class:`ShardedRuntime`:
+  the feed is hash-partitioned over N worker processes, and the printed
+  speedup is N-worker combined ops/s over 1-worker combined ops/s, both
+  through the same sharded driver (so driver + IPC overhead is on both
+  sides and the ratio isolates worker parallelism).  Gate with
+  ``--min-shard-speedup``; needs >= N cores to show N-ish scaling.
 
 ``--backend`` selects the container implementation benchmarked as
 "current": ``python`` (:class:`repro.engine.stores.Container`) or
@@ -311,6 +318,71 @@ def bench_logical_runtime(num_inputs: int, seed: int, backend: str = "python") -
     return num_inputs / (time.perf_counter() - start)
 
 
+def bench_sharded_runtime(
+    num_inputs: int,
+    a_domain: int,
+    b_domain: int,
+    rate: float,
+    retention: float,
+    workers: int,
+    seed: int,
+) -> float:
+    """End-to-end throughput of the sharded driver on a wide-window join.
+
+    One two-predicate query, ``R.a=S.a AND R.b=S.b``: the router
+    partitions *both* relations on the ``a`` equivalence class, so every
+    tuple is routed to exactly one shard and no broadcast dilutes the
+    scaling.  Parameters are chosen so per-tuple worker work (scanning
+    ~``rate x retention / (2 x a_domain)`` live candidates per probe)
+    dominates per-tuple driver work (validation, routing, pickling) —
+    the regime where sharding pays.  The feed is pre-generated; only
+    ``run()`` is timed.  Pool startup/teardown is excluded.
+    """
+    from repro.core import (
+        ClusterConfig,
+        OptimizerConfig,
+        Query,
+        StatisticsCatalog,
+        build_topology,
+    )
+    from repro.core.optimizer import MultiQueryOptimizer
+    from repro.engine import RuntimeConfig, ShardedRuntime
+
+    query = Query.of("q", "R.a=S.a", "R.b=S.b")
+    catalog = StatisticsCatalog(
+        default_selectivity=1.0 / a_domain, default_window=retention
+    )
+    for rel in "RS":
+        catalog.with_rate(rel, rate / 2.0)
+    rng = random.Random(seed)
+    inputs = []
+    t = 0.0
+    for i in range(num_inputs):
+        t += rng.random() * (2.0 / rate)
+        inputs.append(
+            input_tuple(
+                "R" if i % 2 == 0 else "S",
+                t,
+                {"a": rng.randrange(a_domain), "b": rng.randrange(b_domain)},
+            )
+        )
+    cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=1))
+    plan = MultiQueryOptimizer(catalog, cfg, solver="own").optimize([query])
+    topology = build_topology(plan.plan, catalog, cfg.cluster)
+    runtime = ShardedRuntime(
+        topology,
+        {"R": retention, "S": retention},
+        RuntimeConfig(mode="logical", workers=workers),
+    )
+    try:
+        start = time.perf_counter()
+        runtime.run(inputs)
+        elapsed = time.perf_counter() - start
+    finally:
+        runtime.close()
+    return num_inputs / elapsed
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tuples", type=int, default=60_000)
@@ -340,6 +412,29 @@ def main() -> None:
     parser.add_argument("--wide-a-domain", type=int, default=40)
     parser.add_argument("--wide-b-domain", type=int, default=1500)
     parser.add_argument("--wide-probes-per-insert", type=int, default=2)
+    #: sharded scenario (opt-in): a work-dominated two-predicate join run
+    #: end-to-end through ShardedRuntime (see bench_sharded_runtime)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run the sharded scenario with this pool size and report its "
+        "speedup over the same scenario at 1 worker (both through "
+        "ShardedRuntime, process transport); omit to skip the scenario",
+    )
+    parser.add_argument("--shard-inputs", type=int, default=12_000)
+    parser.add_argument("--shard-rate", type=float, default=2000.0)
+    parser.add_argument("--shard-retention", type=float, default=15.0)
+    parser.add_argument("--shard-a-domain", type=int, default=64)
+    parser.add_argument("--shard-b-domain", type=int, default=1000)
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero if the sharded scenario's N-worker/1-worker "
+        "speedup falls below this factor (CI scaling gate; requires "
+        "--workers and a runner with >= N cores)",
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -376,6 +471,14 @@ def main() -> None:
     ):
         if getattr(args, name) <= 0:
             parser.error(f"--{name.replace('_', '-')} must be positive")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.min_shard_speedup is not None and args.workers is None:
+        parser.error("--min-shard-speedup requires --workers")
+    if args.workers is not None:
+        for name in ("shard_inputs", "shard_a_domain", "shard_b_domain"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name.replace('_', '-')} must be positive")
     current_cls = BACKENDS[args.backend]
 
     tuples = make_tuples(args.tuples, args.domain, args.rate, args.seed)
@@ -460,9 +563,38 @@ def main() -> None:
     print(f"\nlogical-mode end-to-end: {logical:,.0f} inputs/s "
           f"({args.logical_inputs} inputs, 3-way join, parallelism 2)")
 
+    shard_result = None
+    if args.workers is not None:
+        shard_args = (
+            args.shard_inputs,
+            args.shard_a_domain,
+            args.shard_b_domain,
+            args.shard_rate,
+            args.shard_retention,
+        )
+        shard_base = bench_sharded_runtime(*shard_args, 1, args.seed + 4)
+        shard_current = (
+            shard_base
+            if args.workers == 1
+            else bench_sharded_runtime(*shard_args, args.workers, args.seed + 4)
+        )
+        shard_speedup = shard_current / shard_base
+        shard_result = {
+            "workers": args.workers,
+            "one_worker_ops_per_s": shard_base,
+            "n_worker_ops_per_s": shard_current,
+            "speedup": shard_speedup,
+        }
+        print(
+            f"sharded end-to-end:      1 worker {shard_base:,.0f} inputs/s, "
+            f"{args.workers} workers {shard_current:,.0f} inputs/s "
+            f"({shard_speedup:.1f}x, {args.shard_inputs} inputs, "
+            f"2-predicate join)"
+        )
+
     if args.json_out is not None:
         payload = {
-            "schema_version": 2,
+            "schema_version": 3,
             "backend": args.backend,
             "scenarios": {
                 name: {
@@ -478,6 +610,7 @@ def main() -> None:
                 "speedup_vs_python": wide_speedup,
             },
             "logical_inputs_per_s": logical,
+            "sharded": shard_result,
             "params": {
                 name: getattr(args, name)
                 for name in (
@@ -486,6 +619,8 @@ def main() -> None:
                     "sliding_retention", "sliding_domain",
                     "wide_tuples", "wide_retention", "wide_rate",
                     "wide_a_domain", "wide_b_domain", "wide_probes_per_insert",
+                    "workers", "shard_inputs", "shard_rate",
+                    "shard_retention", "shard_a_domain", "shard_b_domain",
                 )
             },
             "python": sys.version.split()[0],
@@ -517,6 +652,18 @@ def main() -> None:
         print(
             f"backend gate: wide-window {wide_speedup:.1f}x >= "
             f"{args.min_backend_speedup:g}x OK"
+        )
+
+    if args.min_shard_speedup is not None:
+        if shard_result["speedup"] < args.min_shard_speedup:
+            raise SystemExit(
+                f"REGRESSION: sharded {args.workers}-worker speedup "
+                f"{shard_result['speedup']:.2f}x below required "
+                f"{args.min_shard_speedup:g}x"
+            )
+        print(
+            f"shard gate: {shard_result['speedup']:.1f}x >= "
+            f"{args.min_shard_speedup:g}x OK"
         )
 
 

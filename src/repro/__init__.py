@@ -53,6 +53,8 @@ from .engine import (
     AdaptiveRuntime,
     RewirableRuntime,
     RuntimeConfig,
+    ShardFailedError,
+    ShardedRuntime,
     TopologyRuntime,
     input_tuple,
     reference_join,
@@ -101,6 +103,8 @@ __all__ = [
     "AdaptiveRuntime",
     "RewirableRuntime",
     "RuntimeConfig",
+    "ShardFailedError",
+    "ShardedRuntime",
     "TopologyRuntime",
     "input_tuple",
     "reference_join",

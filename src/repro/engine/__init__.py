@@ -11,8 +11,9 @@ from .epochs import AdaptiveRuntime
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
 from .reference import describe_result_diff, reference_join, result_keys
-from .rewiring import RewirableRuntime, SwitchRecord
+from .rewiring import RewirableRuntime, SwitchRecord, compute_backfill
 from .routing import stable_hash, target_tasks
+from .sharding import ShardFailedError, ShardRouter, ShardedRuntime
 from .runtime import (
     LateArrivalError,
     MemoryOverflowError,
@@ -47,12 +48,16 @@ __all__ = [
     "RewirableRuntime",
     "RuntimeConfig",
     "STORM_PROFILE",
+    "ShardFailedError",
+    "ShardRouter",
+    "ShardedRuntime",
     "StoreBackend",
     "StoreTask",
     "StreamTuple",
     "SwitchRecord",
     "TopologyRuntime",
     "make_backend",
+    "compute_backfill",
     "describe_result_diff",
     "input_tuple",
     "intern_attr",

@@ -44,7 +44,25 @@ from .runtime import RuntimeConfig, TopologyRuntime
 from .stores import StoreTask
 from .tuples import StreamTuple
 
-__all__ = ["RewirableRuntime", "SwitchRecord"]
+__all__ = ["RewirableRuntime", "SwitchRecord", "compute_backfill"]
+
+
+def compute_backfill(
+    spec: StoreSpec,
+    streams: Dict[str, List[StreamTuple]],
+    windows: Dict[str, float],
+) -> List[StreamTuple]:
+    """Windowed contents of a freshly introduced MIR store.
+
+    ``streams`` maps each of the MIR's input relations to its *live* stored
+    tuples (sorted by event time).  The intermediates carry the max-merged
+    arrival sequence of their components, keeping seq-based probe visibility
+    exact under watermark mode.  Shared by :meth:`RewirableRuntime.install`
+    and the sharded driver's cross-shard re-shard path (which rebuilds new
+    MIR stores centrally from the merged shard dumps).
+    """
+    sub_query = maintenance_query(spec.mir)
+    return reference_join(sub_query, streams, windows)
 
 
 @dataclass
@@ -246,8 +264,7 @@ class RewirableRuntime(TopologyRuntime):
                 for container in task.containers.values():
                     live.extend(container.iter_tuples())
             streams[relation] = sorted(live, key=lambda t: t.latest_ts)
-        sub_query = maintenance_query(spec.mir)
-        intermediates = reference_join(sub_query, streams, self.windows)
+        intermediates = compute_backfill(spec, streams, self.windows)
         for tup in intermediates:
             self.tasks[spec.store_id][self._task_for(spec, tup)].insert(
                 self._epoch, tup

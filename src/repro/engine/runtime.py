@@ -77,6 +77,7 @@ __all__ = [
     "RuntimeConfig",
     "TopologyRuntime",
     "MemoryOverflowError",
+    "global_watermark",
     "validate_arrival",
 ]
 
@@ -124,6 +125,28 @@ def validate_arrival(
             )
 
 
+def global_watermark(
+    ingest: Iterable[str], stream_high: Dict[str, float], bound: Optional[float]
+) -> float:
+    """Low watermark over ``ingest`` streams given per-stream high waters.
+
+    Shared by the single-process runtime and the sharded driver (which owns
+    the authoritative high waters and ships snapshots to its workers): the
+    minimum high water minus the disorder bound, or ``-inf`` while any
+    ingest stream has not produced a tuple yet.
+    """
+    mark = float("inf")
+    for relation in ingest:
+        seen = stream_high.get(relation)
+        if seen is None:
+            return float("-inf")
+        if seen < mark:
+            mark = seen
+    if mark == float("inf"):
+        return float("-inf")
+    return mark - (bound or 0.0)
+
+
 @dataclass
 class RuntimeConfig:
     """Execution knobs of the simulated engine."""
@@ -151,6 +174,15 @@ class RuntimeConfig:
     #: selects the numpy-vectorized
     #: :class:`~repro.engine.columnar.ColumnarContainer`
     store_backend: str = "python"
+    #: policy for inputs that violate the arrival-order contract: "raise"
+    #: surfaces :class:`LateArrivalError`, "drop" discards the tuple before
+    #: any state mutation and counts it in ``metrics.late_dropped`` (the
+    #: dead-letter policy the session facade exposes as ``on_late``)
+    on_late: str = "raise"
+    #: shard the topology across this many worker processes
+    #: (:class:`~repro.engine.sharding.ShardedRuntime`); 1 runs the
+    #: single-process engine in this process
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("logical", "timed"):
@@ -158,6 +190,23 @@ class RuntimeConfig:
         check_backend_name(self.store_backend)
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.on_late not in ("raise", "drop"):
+            raise ValueError(
+                f"unknown late-tuple policy {self.on_late!r}; "
+                f"expected 'raise' or 'drop'"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.workers > 1:
+            if self.mode != "logical":
+                raise ValueError(
+                    "sharded execution (workers > 1) requires logical mode"
+                )
+            if self.memory_limit_units is not None:
+                raise ValueError(
+                    "memory_limit_units is a single-process budget; it does "
+                    "not compose with sharded execution (workers > 1)"
+                )
         if self.disorder_bound is not None:
             if self.mode != "logical":
                 raise ValueError(
@@ -181,6 +230,12 @@ class TopologyRuntime:
         self.topology = topology
         self.windows = dict(windows)
         self.config = config or RuntimeConfig()
+        if self.config.workers > 1:
+            raise ValueError(
+                "workers > 1 needs the sharded driver: construct a "
+                "repro.engine.sharding.ShardedRuntime (or pass workers= to "
+                "JoinSession) instead of a TopologyRuntime"
+            )
         self.metrics = EngineMetrics()
         self.outputs: Dict[str, List[StreamTuple]] = {}
         self.tasks: Dict[str, List[StoreTask]] = {}
@@ -314,15 +369,33 @@ class TopologyRuntime:
             return
         ts = tup.trigger_ts
         bound = self.config.disorder_bound
-        validate_arrival(tup.trigger, ts, self._last_ts, self._stream_high, bound)
+        try:
+            validate_arrival(
+                tup.trigger, ts, self._last_ts, self._stream_high, bound
+            )
+        except LateArrivalError:
+            if self.config.on_late == "drop":
+                # the rejection precedes any state mutation, so dropping
+                # here leaves the engine exactly as if the tuple never
+                # arrived; it is not counted in inputs_ingested
+                self.metrics.late_dropped += 1
+                return
+            raise
         if bound is None:
             self._last_ts = ts
         else:
             # Watermark mode: arrival order is the push/feed order.  Assign
             # the arrival sequence (probe visibility) and advance the
-            # per-stream high water (eviction watermark).
-            self._arrival_seq += 1
-            tup.seq = self._arrival_seq
+            # per-stream high water (eviction watermark).  A nonzero seq was
+            # assigned upstream (the sharded driver sequences tuples before
+            # fanning them out to workers) and is trusted; the local counter
+            # stays monotone so mixed use keeps a total order.
+            if tup.seq:
+                if tup.seq > self._arrival_seq:
+                    self._arrival_seq = tup.seq
+            else:
+                self._arrival_seq += 1
+                tup.seq = self._arrival_seq
             high = self._stream_high.get(tup.trigger)
             if high is None or ts > high:
                 self._stream_high[tup.trigger] = ts
@@ -635,18 +708,9 @@ class TopologyRuntime:
         over every ingest stream.  Streams that have not produced a tuple
         yet pin it at ``-inf`` (nothing can be evicted safely).
         """
-        bound = self.config.disorder_bound or 0.0
-        high = self._stream_high
-        mark = float("inf")
-        for relation in self.topology.ingest:
-            seen = high.get(relation)
-            if seen is None:
-                return float("-inf")
-            if seen < mark:
-                mark = seen
-        if mark == float("inf"):
-            return float("-inf")
-        return mark - bound
+        return global_watermark(
+            self.topology.ingest, self._stream_high, self.config.disorder_bound
+        )
 
     def _check_memory(self) -> None:
         limit = self.config.memory_limit_units

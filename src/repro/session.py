@@ -67,6 +67,7 @@ from .engine.metrics import EngineMetrics
 from .engine.reference import describe_result_diff, reference_join, result_keys
 from .engine.rewiring import RewirableRuntime, SwitchRecord
 from .engine.runtime import LateArrivalError, RuntimeConfig, validate_arrival
+from .engine.sharding import ShardedRuntime
 from .engine.statistics import EpochStatistics
 from .engine.tuples import StreamTuple, input_tuple
 
@@ -119,12 +120,15 @@ class LateTupleError(SessionError, ValueError):
 
 
 class EngineFailedError(SessionError):
-    """The underlying engine has failed (memory overflow) and the session
-    no longer accepts pushes.
+    """The underlying engine has failed (memory overflow, or a dead shard
+    worker under ``workers > 1``) and the session no longer accepts pushes.
 
     Raised by ``push`` — once for the push that triggered the failure
     (which was fully processed) and for every push thereafter (which are
     not ingested at all); ``session.metrics.failure_reason`` has details.
+    The push that *detects* a shard failure raises the engine's typed
+    :class:`~repro.engine.sharding.ShardFailedError` instead (a subclass
+    of ``RuntimeError``, carrying the worker traceback).
     """
 
 
@@ -200,6 +204,24 @@ class _SessionRuntime(RewirableRuntime):
             callback(result)
 
 
+class _SessionShardedRuntime(ShardedRuntime):
+    """Sharded driver that fans merged results out to session subscribers.
+
+    Subscribers run on the driver side of the deterministic merge, so
+    callback order is reproducible and identical to the single-process
+    session (same seq order) regardless of worker scheduling.
+    """
+
+    def __init__(self, topology, windows, config, listeners, transport):
+        self._listeners: Dict[str, List[Callable]] = listeners
+        super().__init__(topology, windows, config, transport=transport)
+
+    def _emit(self, query: str, result: StreamTuple, completion_ts: float) -> None:
+        super()._emit(query, result, completion_ts)
+        for callback in self._listeners.get(query, ()):
+            callback(result)
+
+
 class JoinSession:
     """Live multi-query stream-join service over one shared plan.
 
@@ -231,6 +253,19 @@ class JoinSession:
         Container implementation behind every store task: ``"python"``
         (dict/hash-index) or ``"columnar"`` (numpy-vectorized, see
         docs/engine.md).  Ignored when ``runtime_config`` is given.
+    workers:
+        Number of shard worker processes (default 1 = single-process).
+        With ``workers=N > 1`` the session drives a
+        :class:`~repro.engine.sharding.ShardedRuntime`: every stream is
+        hash-partitioned by its join key over N processes, each owning one
+        shard of every store, with results merged deterministically — the
+        result sets (and their order) are exactly those of ``workers=1``
+        (docs/engine.md, "Sharded execution").  Call :meth:`close` (or use
+        the session as a context manager) to terminate the pool.
+    worker_transport:
+        Shard transport, ``"process"`` (real ``multiprocessing`` workers)
+        or ``"inline"`` (same sharded semantics in-process — deterministic
+        and fork-free, for tests).  Only meaningful with ``workers > 1``.
     parallelism:
         Default store parallelism (ignored when ``optimizer_config`` is
         given).
@@ -255,6 +290,8 @@ class JoinSession:
         disorder_bound: Optional[float] = None,
         on_late: str = "raise",
         store_backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        worker_transport: str = "process",
         parallelism: int = 1,
         optimizer_config: Optional[OptimizerConfig] = None,
         runtime_config: Optional[RuntimeConfig] = None,
@@ -293,13 +330,32 @@ class JoinSession:
                 raise ValueError(
                     "store_backend given both directly and via runtime_config"
                 )
+            if workers is not None and runtime_config.workers != workers:
+                raise ValueError(
+                    "workers given both directly and via runtime_config"
+                )
+            if runtime_config.on_late == "drop":
+                raise ValueError(
+                    "runtime_config.on_late='drop' would drop stragglers "
+                    "inside the engine, invisibly to the session's history "
+                    "and verification oracle; use JoinSession(on_late="
+                    "'drop') — the session counts the drop and keeps its "
+                    "records consistent"
+                )
             self._runtime_config = runtime_config
         else:
             self._runtime_config = RuntimeConfig(
                 mode="logical",
                 disorder_bound=disorder_bound,
                 store_backend=store_backend or "python",
+                workers=workers or 1,
             )
+        if worker_transport not in ("process", "inline"):
+            raise ValueError(
+                f"unknown worker_transport {worker_transport!r}; expected "
+                f"'process' or 'inline'"
+            )
+        self._worker_transport = worker_transport
         #: stragglers dropped while the warmup buffer was still filling
         #: (folded into ``metrics.late_dropped`` once the runtime exists)
         self._warmup_late_dropped = 0
@@ -336,7 +392,7 @@ class JoinSession:
         # execution state
         self._listeners: Dict[str, List[Callable]] = {}
         self._cursors: Dict[str, int] = {}
-        self._runtime: Optional[_SessionRuntime] = None
+        self._runtime: Optional[Union[_SessionRuntime, _SessionShardedRuntime]] = None
         self._plan: Optional[SharedPlan] = None
         self._catalog: Optional[StatisticsCatalog] = None
 
@@ -637,6 +693,24 @@ class JoinSession:
             self._runtime.flush()
         return self
 
+    def close(self) -> "JoinSession":
+        """Release engine resources; with ``workers > 1``, terminate the
+        shard worker pool (idempotent — results stay readable, pushes after
+        close are undefined).  Single-process sessions need no cleanup, so
+        plain usage without ``close`` stays fully supported."""
+        if self._runtime is not None:
+            closer = getattr(self._runtime, "close", None)
+            if closer is not None:
+                self._runtime.flush()
+                closer()
+        return self
+
+    def __enter__(self) -> "JoinSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
@@ -704,12 +778,21 @@ class JoinSession:
         if not self._queries:
             return
         plan, catalog, topology = self._optimize()
-        self._runtime = _SessionRuntime(
-            topology,
-            self._windows_map(),
-            self._runtime_config,
-            self._listeners,
-        )
+        if self._runtime_config.workers > 1:
+            self._runtime = _SessionShardedRuntime(
+                topology,
+                self._windows_map(),
+                self._runtime_config,
+                self._listeners,
+                self._worker_transport,
+            )
+        else:
+            self._runtime = _SessionRuntime(
+                topology,
+                self._windows_map(),
+                self._runtime_config,
+                self._listeners,
+            )
         # stragglers dropped while warming up belong to the same counter
         self._runtime.metrics.late_dropped += self._warmup_late_dropped
         self._plan, self._catalog = plan, catalog

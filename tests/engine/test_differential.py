@@ -700,3 +700,147 @@ class TestDifferentialAdaptive:
         )
         runtime.run(inputs)
         assert_engine_equals_reference(runtime, [query], streams, windows)
+
+
+def _fresh_feed(feed):
+    """Reset arrival sequence numbers so a feed can be replayed.
+
+    The drivers assign (and trust pre-assigned) ``StreamTuple.seq``; replaying
+    the same tuple objects through a second runtime must start from a clean
+    slate or the second run would inherit the first run's sequencing.
+    """
+    for tup in feed:
+        tup.seq = 0
+    return feed
+
+
+class TestDifferentialSharded:
+    """Shard axis: ``workers`` ∈ {1, 2, 4} crossed against shape × backend ×
+    arrival mode — result sets *and* the driver-owned metrics must exactly
+    equal the single-process runtime on every seeded workload.
+
+    The matrix runs the inline transport (identical sharded semantics —
+    routing, per-shard runtimes, snapshot watermarks, deterministic merge —
+    minus the IPC), keeping 12 seeds × 3 worker counts fast and
+    deterministic; `test_process_transport_exact` runs real worker
+    processes on a sample of the same workloads.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(12))
+    def test_shard_axis_exact(self, seed, workers):
+        from dataclasses import replace
+
+        from repro.engine import ShardedRuntime
+
+        shape = ("chain", "star", "cycle")[seed % 3]
+        backend = ("python", "columnar")[seed % 2]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        if seed % 4 < 2:  # watermark arrivals on half the seeds
+            bound = random.Random(seed ^ 0x5A).choice([0.5, 1.0, 2.0])
+            feed = list(bounded_delay_feed(streams, bound, seed=seed))
+        else:
+            bound = None
+            feed = list(inputs)
+        solver = "scipy" if shape == "chain" else "greedy"
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver=solver
+        )
+        config = RuntimeConfig(
+            mode="logical", disorder_bound=bound, store_backend=backend
+        )
+        base = TopologyRuntime(topology, windows, config)
+        base.run(_fresh_feed(feed))
+        sharded = ShardedRuntime(
+            topology, windows, replace(config, workers=workers),
+            transport="inline",
+        )
+        sharded.run(_fresh_feed(feed))
+        assert_engine_equals_reference(sharded, queries, streams, windows)
+        for query in queries:
+            assert result_keys(sharded.results(query.name)) == result_keys(
+                base.results(query.name)
+            ), query.name
+        # driver-owned counters are exact under sharding (broadcast-affected
+        # flow counters are covered by test_colocated_flow_counters_exact)
+        assert sharded.metrics.inputs_ingested == base.metrics.inputs_ingested
+        assert sharded.metrics.results_emitted == base.metrics.results_emitted
+        assert sharded.metrics.results_per_query == base.metrics.results_per_query
+        assert sharded.metrics.late_dropped == base.metrics.late_dropped
+        assert sharded.watermark() == base.watermark()
+        sharded.close()
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_process_transport_exact(self, seed):
+        """Real multiprocessing workers on a sample of the matrix above."""
+        from dataclasses import replace
+
+        from repro.engine import ShardedRuntime
+
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        solver = "scipy" if shape == "chain" else "greedy"
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver=solver
+        )
+        config = RuntimeConfig(mode="logical", disorder_bound=1.0)
+        feed = list(bounded_delay_feed(streams, 1.0, seed=seed))
+        base = TopologyRuntime(topology, windows, config)
+        base.run(_fresh_feed(feed))
+        with ShardedRuntime(
+            topology, windows, replace(config, workers=2),
+            transport="process",
+        ) as sharded:
+            sharded.run(_fresh_feed(feed))
+            assert_engine_equals_reference(sharded, queries, streams, windows)
+            assert (
+                sharded.metrics.results_per_query
+                == base.metrics.results_per_query
+            )
+
+    def test_colocated_flow_counters_exact(self):
+        """With every relation partitioned (no broadcast), the *full* flow
+        counter set — sends, probes, comparisons, stored units — sums across
+        shards to exactly the single-process values."""
+        from dataclasses import replace
+
+        from repro.engine import ShardedRuntime
+
+        queries = [Query.of("q", "R.a=S.a")]
+        rng = random.Random(17)
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=15.0,
+                attributes={"a": uniform_domain(6)},
+            )
+            for rel in ("R", "S")
+        ]
+        streams, inputs = generate_streams(specs, 6.0, seed=17)
+        windows = {"R": 3.0, "S": 3.0}
+        topology = compile_topology(queries, ["R", "S"], windows, 2, 17)
+        config = RuntimeConfig(mode="logical")
+        base = TopologyRuntime(topology, windows, config)
+        base.run(_fresh_feed(list(inputs)))
+        sharded = ShardedRuntime(
+            topology, windows, replace(config, workers=3), transport="inline"
+        )
+        assert sharded.router.metrics_exact, sharded.router.describe()
+        sharded.run(_fresh_feed(list(inputs)))
+        assert_engine_equals_reference(sharded, queries, streams, windows)
+        for field in (
+            "messages_sent",
+            "tuples_sent",
+            "probes_executed",
+            "comparisons",
+            "stored_units",
+            "results_emitted",
+        ):
+            assert getattr(sharded.metrics, field) == getattr(
+                base.metrics, field
+            ), field
+        sharded.close()

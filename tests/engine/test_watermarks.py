@@ -188,3 +188,75 @@ class TestWatermarkRuntime:
         ]
         runtime.run(feed)
         assert [t.seq for t in feed] == [1, 2, 3]
+
+
+class TestBareRuntimeLateDrop:
+    """`RuntimeConfig(on_late="drop")`: the bare runtime supports the
+    session's dead-letter policy directly (previously session-only)."""
+
+    def _feed(self):
+        """Watermark-mode feed with two genuine stragglers (bound 1.0)."""
+        return [
+            input_tuple("R", 5.0, {"a": 1}),
+            input_tuple("S", 5.0, {"a": 1}),
+            input_tuple("R", 3.5, {"a": 1}),  # late: lags R high 5.0 by 1.5
+            input_tuple("S", 4.5, {"a": 1}),  # in bound
+            input_tuple("R", 2.0, {"a": 1}),  # late
+        ]
+
+    def test_config_validates_policy(self):
+        with pytest.raises(ValueError, match="late-tuple policy"):
+            RuntimeConfig(on_late="ignore")
+
+    def test_drop_counts_and_skips_stragglers(self):
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(disorder_bound=1.0, on_late="drop"),
+        )
+        runtime.run(self._feed())
+        assert runtime.metrics.late_dropped == 2
+        # dropped tuples were never ingested nor joined
+        assert runtime.metrics.inputs_ingested == 3
+        # S@5.0 and S@4.5 each join R@5.0 (seq visibility); the dropped
+        # R stragglers produce nothing
+        assert len(runtime.results("q")) == 2
+
+    def test_raise_is_still_the_default(self):
+        from repro.engine import LateArrivalError
+
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology, windows, RuntimeConfig(disorder_bound=1.0)
+        )
+        with pytest.raises(LateArrivalError):
+            runtime.run(self._feed())
+
+    def test_late_dropped_parity_with_session(self):
+        """The bare runtime's drop policy and the session's produce the
+        same `late_dropped` count and the same result set on one feed."""
+        from repro import JoinSession
+        from repro.engine import result_keys
+
+        query, topology, windows, *_ = small_topology()
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(disorder_bound=1.0, on_late="drop"),
+        )
+        runtime.run(self._feed())
+
+        session = JoinSession(window=4.0, disorder_bound=1.0, on_late="drop")
+        session.add_query("q", "R.a=S.a")
+        for tup in self._feed():
+            session.push(tup.trigger, {"a": tup.values[f"{tup.trigger}.a"]},
+                         ts=tup.trigger_ts)
+        session.flush()
+        assert session.metrics.late_dropped == runtime.metrics.late_dropped == 2
+        assert result_keys(session.results("q")) == result_keys(
+            runtime.results("q")
+        )
+        assert (
+            session.metrics.inputs_ingested == runtime.metrics.inputs_ingested
+        )
