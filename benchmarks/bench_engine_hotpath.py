@@ -318,6 +318,78 @@ def bench_logical_runtime(num_inputs: int, seed: int, backend: str = "python") -
     return num_inputs / (time.perf_counter() - start)
 
 
+def bench_cascade(
+    num_inputs: int,
+    a_domain: int,
+    c_domain: int,
+    rate: float,
+    window: float,
+    payload: int,
+    seed: int,
+    vectorized: bool,
+) -> float:
+    """Cascade-dominated 4-way chain join, end-to-end through the runtime.
+
+    ``R.a=S.a AND S.b=T.b AND T.c=U.c`` over wide uniform windows: the two
+    interior predicates draw from a small domain (plentiful intermediate
+    matches), the final one from a huge domain (rare results), and every
+    tuple carries ``payload`` extra attributes so intermediate
+    materialization means wide dict merges.  This is the regime the
+    vectorized cascade exists for — the tuple-at-a-time path materializes
+    every intermediate match that then dies at the last hop, while the
+    VectorBatch carriage defers materialization to emission.  Both sides
+    run the columnar backend; only ``vectorized_cascades`` differs.
+    """
+    from repro.core import (
+        ClusterConfig,
+        OptimizerConfig,
+        Query,
+        StatisticsCatalog,
+        build_topology,
+    )
+    from repro.core.optimizer import MultiQueryOptimizer
+    from repro.engine import RuntimeConfig, TopologyRuntime
+
+    query = Query.of("q", "R.a=S.a", "S.b=T.b", "T.c=U.c")
+    catalog = StatisticsCatalog(
+        default_selectivity=1.0 / a_domain, default_window=window
+    )
+    catalog.with_selectivity(JoinPredicate.of("T.c", "U.c"), 1.0 / c_domain)
+    for rel in "RSTU":
+        catalog.with_rate(rel, rate / 4.0)
+    join_attrs = {"R": ["a"], "S": ["a", "b"], "T": ["b", "c"], "U": ["c"]}
+    domains = {"a": a_domain, "b": a_domain, "c": c_domain}
+    rng = random.Random(seed)
+    inputs = []
+    t = 0.0
+    for i in range(num_inputs):
+        t += rng.random() * (2.0 / rate)
+        rel = "RSTU"[i % 4]
+        vals = {a: rng.randrange(domains[a]) for a in join_attrs[rel]}
+        for p in range(payload):
+            vals[f"p{p}"] = i
+        inputs.append(input_tuple(rel, t, vals))
+    # MIRs off: a materialized intermediate store would collapse the chain
+    # into one-hop probes, and the point here is a true 3-hop cascade.
+    cfg = OptimizerConfig(
+        enable_mirs=False, cluster=ClusterConfig(default_parallelism=1)
+    )
+    plan = MultiQueryOptimizer(catalog, cfg, solver="own").optimize([query])
+    topology = build_topology(plan.plan, catalog, cfg.cluster)
+    runtime = TopologyRuntime(
+        topology,
+        {r: window for r in "RSTU"},
+        RuntimeConfig(
+            mode="logical",
+            store_backend="columnar",
+            vectorized_cascades=vectorized,
+        ),
+    )
+    start = time.perf_counter()
+    runtime.run(inputs)
+    return num_inputs / (time.perf_counter() - start)
+
+
 def bench_sharded_runtime(
     num_inputs: int,
     a_domain: int,
@@ -412,6 +484,22 @@ def main() -> None:
     parser.add_argument("--wide-a-domain", type=int, default=40)
     parser.add_argument("--wide-b-domain", type=int, default=1500)
     parser.add_argument("--wide-probes-per-insert", type=int, default=2)
+    #: cascade scenario: a 3-hop chain with plentiful interior matches and
+    #: rare final matches, vectorized vs tuple-at-a-time (see bench_cascade)
+    parser.add_argument("--cascade-inputs", type=int, default=2_000)
+    parser.add_argument("--cascade-a-domain", type=int, default=6)
+    parser.add_argument("--cascade-c-domain", type=int, default=1_000_000)
+    parser.add_argument("--cascade-rate", type=float, default=400.0)
+    parser.add_argument("--cascade-window", type=float, default=16.0)
+    parser.add_argument("--cascade-payload", type=int, default=10)
+    parser.add_argument(
+        "--min-cascade-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero if the vectorized-cascade speedup over the "
+        "tuple-at-a-time path (both on the columnar backend) falls below "
+        "this factor (CI regression gate)",
+    )
     #: sharded scenario (opt-in): a work-dominated two-predicate join run
     #: end-to-end through ShardedRuntime (see bench_sharded_runtime)
     parser.add_argument(
@@ -468,6 +556,9 @@ def main() -> None:
         "wide_a_domain",
         "wide_b_domain",
         "wide_probes_per_insert",
+        "cascade_inputs",
+        "cascade_a_domain",
+        "cascade_c_domain",
     ):
         if getattr(args, name) <= 0:
             parser.error(f"--{name.replace('_', '-')} must be positive")
@@ -563,6 +654,25 @@ def main() -> None:
     print(f"\nlogical-mode end-to-end: {logical:,.0f} inputs/s "
           f"({args.logical_inputs} inputs, 3-way join, parallelism 2)")
 
+    cascade_args = (
+        args.cascade_inputs,
+        args.cascade_a_domain,
+        args.cascade_c_domain,
+        args.cascade_rate,
+        args.cascade_window,
+        args.cascade_payload,
+        args.seed + 5,
+    )
+    cascade_tuple = bench_cascade(*cascade_args, vectorized=False)
+    cascade_vec = bench_cascade(*cascade_args, vectorized=True)
+    cascade_speedup = cascade_vec / cascade_tuple
+    print(
+        f"cascade end-to-end:      tuple-at-a-time {cascade_tuple:,.0f} "
+        f"inputs/s, vectorized {cascade_vec:,.0f} inputs/s "
+        f"({cascade_speedup:.1f}x, {args.cascade_inputs} inputs, 3-hop "
+        f"chain, columnar backend)"
+    )
+
     shard_result = None
     if args.workers is not None:
         shard_args = (
@@ -594,7 +704,7 @@ def main() -> None:
 
     if args.json_out is not None:
         payload = {
-            "schema_version": 3,
+            "schema_version": 4,
             "backend": args.backend,
             "scenarios": {
                 name: {
@@ -610,6 +720,11 @@ def main() -> None:
                 "speedup_vs_python": wide_speedup,
             },
             "logical_inputs_per_s": logical,
+            "cascade": {
+                "tuple_ops_per_s": cascade_tuple,
+                "vectorized_ops_per_s": cascade_vec,
+                "speedup": cascade_speedup,
+            },
             "sharded": shard_result,
             "params": {
                 name: getattr(args, name)
@@ -619,6 +734,8 @@ def main() -> None:
                     "sliding_retention", "sliding_domain",
                     "wide_tuples", "wide_retention", "wide_rate",
                     "wide_a_domain", "wide_b_domain", "wide_probes_per_insert",
+                    "cascade_inputs", "cascade_a_domain", "cascade_c_domain",
+                    "cascade_rate", "cascade_window", "cascade_payload",
                     "workers", "shard_inputs", "shard_rate",
                     "shard_retention", "shard_a_domain", "shard_b_domain",
                 )
@@ -652,6 +769,18 @@ def main() -> None:
         print(
             f"backend gate: wide-window {wide_speedup:.1f}x >= "
             f"{args.min_backend_speedup:g}x OK"
+        )
+
+    if args.min_cascade_speedup is not None:
+        if cascade_speedup < args.min_cascade_speedup:
+            raise SystemExit(
+                f"REGRESSION: vectorized-cascade speedup "
+                f"{cascade_speedup:.2f}x below required "
+                f"{args.min_cascade_speedup:g}x"
+            )
+        print(
+            f"cascade gate: {cascade_speedup:.1f}x >= "
+            f"{args.min_cascade_speedup:g}x OK"
         )
 
     if args.min_shard_speedup is not None:

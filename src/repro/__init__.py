@@ -56,6 +56,7 @@ from .engine import (
     ShardFailedError,
     ShardedRuntime,
     TopologyRuntime,
+    WindowGrowthError,
     input_tuple,
     reference_join,
 )
@@ -106,6 +107,7 @@ __all__ = [
     "ShardFailedError",
     "ShardedRuntime",
     "TopologyRuntime",
+    "WindowGrowthError",
     "input_tuple",
     "reference_join",
     "__version__",

@@ -6,12 +6,17 @@
 * :func:`reference_join` — brute-force oracle used by the test suite.
 """
 
-from .columnar import ColumnarContainer
+from .columnar import ColumnarContainer, VectorBatch
 from .epochs import AdaptiveRuntime
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, FLINK_PROFILE, STORM_PROFILE, EngineProfile
 from .reference import describe_result_diff, reference_join, result_keys
-from .rewiring import RewirableRuntime, SwitchRecord, compute_backfill
+from .rewiring import (
+    RewirableRuntime,
+    SwitchRecord,
+    WindowGrowthError,
+    compute_backfill,
+)
 from .routing import stable_hash, target_tasks
 from .sharding import ShardFailedError, ShardRouter, ShardedRuntime
 from .runtime import (
@@ -56,6 +61,8 @@ __all__ = [
     "StreamTuple",
     "SwitchRecord",
     "TopologyRuntime",
+    "VectorBatch",
+    "WindowGrowthError",
     "make_backend",
     "compute_backfill",
     "describe_result_diff",

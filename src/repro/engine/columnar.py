@@ -42,17 +42,128 @@ oblivious to the backend.
 from __future__ import annotations
 
 from math import isinf
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from .tuples import StreamTuple, intern_attr
 
-__all__ = ["ColumnarContainer", "ColumnBucket", "MIN_CAPACITY"]
+__all__ = ["ColumnarContainer", "ColumnBucket", "VectorBatch", "MIN_CAPACITY"]
 
 #: smallest per-bucket array allocation; doubles as the growth quantum for
 #: tiny buckets so chunked growth never degenerates into per-insert resizes
 MIN_CAPACITY = 64
+
+
+class VectorBatch:
+    """A micro-batch travelling hop-to-hop in vectorized (unmaterialized) form.
+
+    The tuple-at-a-time cascade materializes a merged :class:`StreamTuple`
+    (two dict unions) for *every* intermediate match, even those that die at
+    the next hop.  A :class:`VectorBatch` defers that work: each element is a
+    *component chain* — the probe's original parts plus one stored row per
+    survived hop — alongside numpy columns for exactly the per-element
+    scalars the next hop needs (``trigger_ts`` / ``latest_ts`` /
+    ``earliest_ts`` / ``seq``).  Chains share their common prefix
+    structurally, so carrying a survivor costs one tuple concatenation and
+    four array slots instead of two dict unions.
+
+    :meth:`materialize` folds each chain left-to-right through
+    :meth:`StreamTuple.merge`, reproducing the tuple path's results exactly
+    (same trigger, same last-writer-wins value union, same timestamp extrema
+    and max-``seq``); the fold is cached so emission and store boundaries
+    within one hop share it.
+    """
+
+    __slots__ = (
+        "chains",
+        "trigger",
+        "latest",
+        "earliest",
+        "seq",
+        "lineage",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        chains: List[Tuple[StreamTuple, ...]],
+        trigger: np.ndarray,
+        latest: np.ndarray,
+        earliest: np.ndarray,
+        seq: np.ndarray,
+        lineage: FrozenSet[str],
+    ) -> None:
+        self.chains = chains
+        self.trigger = trigger
+        self.latest = latest
+        self.earliest = earliest
+        self.seq = seq
+        self.lineage = lineage
+        self._rows: Optional[List[StreamTuple]] = None
+
+    @classmethod
+    def from_tuples(cls, tups: Sequence[StreamTuple]) -> "VectorBatch":
+        """Lift a homogeneous-lineage tuple batch into vector form."""
+        n = len(tups)
+        trigger = np.empty(n, dtype=np.float64)
+        latest = np.empty(n, dtype=np.float64)
+        earliest = np.empty(n, dtype=np.float64)
+        seq = np.empty(n, dtype=np.int64)
+        chains: List[Tuple[StreamTuple, ...]] = []
+        for pos, tup in enumerate(tups):
+            trigger[pos] = tup.trigger_ts
+            latest[pos] = tup.latest_ts
+            earliest[pos] = tup.earliest_ts
+            seq[pos] = tup.seq
+            chains.append((tup,))
+        batch = cls(chains, trigger, latest, earliest, seq, tups[0].lineage)
+        # single-part chains materialize to the inputs themselves
+        batch._rows = list(tups)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def values_of(self, attr: str) -> List[object]:
+        """Per-element value of a qualified attribute (``None`` if absent).
+
+        Chains have pairwise-disjoint part lineages, so a qualified
+        attribute lives in at most one part; scanning parts last-to-first
+        reproduces the merged dict union's last-writer-wins ``.get`` exactly
+        (including explicit ``None`` values, which are joinable keys).
+        """
+        out: List[object] = []
+        for chain in self.chains:
+            value = None
+            for part in reversed(chain):
+                if attr in part.values:
+                    value = part.values[attr]
+                    break
+            out.append(value)
+        return out
+
+    def materialize(self) -> List[StreamTuple]:
+        """Fold every chain into a concrete :class:`StreamTuple` (cached)."""
+        rows = self._rows
+        if rows is None:
+            rows = []
+            for chain in self.chains:
+                tup = chain[0]
+                for part in chain[1:]:
+                    tup = tup.merge(part)
+                rows.append(tup)
+            self._rows = rows
+        return rows
 
 
 class ColumnBucket:
@@ -374,6 +485,171 @@ class ColumnarContainer:
                     rows = bucket.rows
                     results.extend(merge(rows[i]) for i in idx)
         return results, checked
+
+    def probe_batch_vector(
+        self,
+        batch: VectorBatch,
+        oriented: Tuple[Tuple[str, str], ...],
+        uniform_window: float,
+        seq_visibility: bool = False,
+    ) -> Tuple[Optional[VectorBatch], int]:
+        """One vectorized cascade hop: probe with a :class:`VectorBatch`.
+
+        Semantically identical to :meth:`probe_batch` over
+        ``batch.materialize()`` — same ``checked`` count (first-predicate
+        index candidates), same arrival-visibility and uniform-window
+        narrowing, same probe-major / bucket-major / row-ascending result
+        order — but survivors stay unmaterialized: each match extends its
+        probe's component chain by the stored row and gathers the merged
+        scalars (``max`` latest / ``min`` earliest / ``max`` seq, probe's
+        trigger) straight from the bucket columns.
+
+        Only the uniform-window regime is supported; the runtime falls back
+        to the materializing path otherwise.  Returns ``(None, checked)``
+        when no row survives, without activating any lazy column on an
+        empty store.
+        """
+        checked = 0
+        if not self._count or not len(batch):
+            return None, checked
+        if oriented:
+            first_probe_attr, first_stored_attr = oriented[0]
+            rest = oriented[1:]
+            self.ensure_column(first_stored_attr)
+            for _, stored_attr in rest:
+                self.ensure_column(stored_attr)
+            first_codes = self._value_codes.get(first_stored_attr, {})
+            first_vals = batch.values_of(first_probe_attr)
+            rest_lookups = [
+                (
+                    stored_attr,
+                    self._value_codes[stored_attr],
+                    batch.values_of(probe_attr),
+                )
+                for probe_attr, stored_attr in rest
+            ]
+        # Hoist per-bucket column views out of the probe loop: one dict
+        # lookup per bucket for the whole batch instead of one per
+        # (probe, bucket) pair.
+        if oriented:
+            bucket_views = [
+                (
+                    b.codes[first_stored_attr][: b.size],
+                    [b.codes[a] for a, _, _ in rest_lookups],
+                    b.latest,
+                    b.earliest,
+                    b.seq,
+                    b.rows,
+                    b.size,
+                )
+                for _, b in sorted(self._buckets.items())
+                if b.size
+            ]
+        else:
+            bucket_views = [
+                (None, [], b.latest, b.earliest, b.seq, b.rows, b.size)
+                for _, b in sorted(self._buckets.items())
+                if b.size
+            ]
+        chains = batch.chains
+        trig_col = batch.trigger
+        lat_col = batch.latest
+        ear_col = batch.earliest
+        seq_col = batch.seq
+        out_chains: List[Tuple[StreamTuple, ...]] = []
+        # Per-segment raw slices plus the probe-side scalars; the merged
+        # columns are computed once at batch assembly (np.repeat of the
+        # scalars against the concatenated slices) rather than with four
+        # numpy calls on each tiny segment.
+        seg_latest: List[np.ndarray] = []
+        seg_earliest: List[np.ndarray] = []
+        seg_seq: List[np.ndarray] = []
+        seg_counts: List[int] = []
+        seg_trig_s: List[float] = []
+        seg_lat_s: List[float] = []
+        seg_ear_s: List[float] = []
+        seg_seq_s: List[int] = []
+        for j in range(len(chains)):
+            if oriented:
+                code = first_codes.get(first_vals[j])
+                if code is None:
+                    # value never stored: empty index lookup, 0 checked
+                    continue
+                rest_codes = [
+                    table.get(vals[j], -1)
+                    for _, table, vals in rest_lookups
+                ]
+            t_trig = trig_col[j]
+            t_lat = lat_col[j]
+            t_ear = ear_col[j]
+            t_seq = seq_col[j]
+            chain = chains[j]
+            for (
+                first_col,
+                rest_cols,
+                b_latest,
+                b_earliest,
+                b_seq,
+                rows,
+                size,
+            ) in bucket_views:
+                if oriented:
+                    idx = np.flatnonzero(first_col == code)
+                    checked += len(idx)
+                    for col, rcode in zip(rest_cols, rest_codes):
+                        if not len(idx):
+                            break
+                        idx = idx[col[idx] == rcode]
+                else:
+                    idx = np.arange(size)
+                    checked += size
+                if not len(idx):
+                    continue
+                if seq_visibility:
+                    idx = idx[b_seq[idx] < t_seq]
+                else:
+                    idx = idx[b_latest[idx] < t_trig]
+                if not len(idx):
+                    continue
+                s_lat = b_latest[idx]
+                s_ear = b_earliest[idx]
+                keep = (t_lat - s_ear <= uniform_window) & (
+                    s_lat - t_ear <= uniform_window
+                )
+                idx = idx[keep]
+                n = len(idx)
+                if not n:
+                    continue
+                out_chains.extend(chain + (rows[i],) for i in idx.tolist())
+                seg_latest.append(s_lat[keep])
+                seg_earliest.append(s_ear[keep])
+                seg_seq.append(b_seq[idx])
+                seg_counts.append(n)
+                seg_trig_s.append(t_trig)
+                seg_lat_s.append(t_lat)
+                seg_ear_s.append(t_ear)
+                seg_seq_s.append(t_seq)
+        if not out_chains:
+            return None, checked
+        counts = np.asarray(seg_counts)
+        out = VectorBatch(
+            out_chains,
+            np.repeat(np.asarray(seg_trig_s, dtype=np.float64), counts),
+            np.maximum(
+                np.concatenate(seg_latest),
+                np.repeat(np.asarray(seg_lat_s, dtype=np.float64), counts),
+            ),
+            np.minimum(
+                np.concatenate(seg_earliest),
+                np.repeat(np.asarray(seg_ear_s, dtype=np.float64), counts),
+            ),
+            np.maximum(
+                np.concatenate(seg_seq),
+                np.repeat(np.asarray(seg_seq_s), counts),
+            ),
+            batch.lineage | out_chains[0][-1].lineage,
+        )
+        return out, checked
 
     def _window_mask(
         self,

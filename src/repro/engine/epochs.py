@@ -21,6 +21,14 @@ The switch mechanics themselves — plan diffing, state migration,
 repartitioning, backfill, archived lookups — live in
 :class:`~repro.engine.rewiring.RewirableRuntime`, which this runtime shares
 with the session facade's online ``add_query``/``remove_query`` path.
+
+Watermark mode composes: with ``disorder_bound`` set, epoch boundaries are
+still crossed on (monotone-filtered) event time — a straggler whose event
+timestamp lags the current epoch simply cannot cross a boundary, so the
+epoch counter never regresses — and the shared ``install()`` path seeds
+per-stream high waters across the switch, keeps seq-carrying backfill
+intermediates visibility-exact, and evicts against the watermark rather
+than the boundary instant.
 """
 
 from __future__ import annotations
@@ -50,12 +58,6 @@ class AdaptiveRuntime(RewirableRuntime):
         cluster: Optional[ClusterConfig] = None,
         adapt: bool = True,
     ) -> None:
-        if config is not None and config.disorder_bound is not None:
-            raise ValueError(
-                "AdaptiveRuntime requires timestamp-ordered inputs: epoch "
-                "boundaries and MIR backfill are driven by event time, so "
-                "out-of-order arrivals (disorder_bound) are not supported"
-            )
         self.controller = controller
         self.epoch_length = epoch_length
         self.cluster = cluster or controller.config.cluster

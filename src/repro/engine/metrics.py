@@ -46,6 +46,14 @@ class EngineMetrics:
     #: stragglers discarded by the session's ``on_late="drop"`` policy
     #: (never counted in ``inputs_ingested`` — they were not processed)
     late_dropped: int = 0
+    #: concrete container backend per store task, tallied by name — with
+    #: ``store_backend="auto"`` this surfaces the per-task decisions, fixed
+    #: configurations tally to a single entry (refreshed at every install)
+    store_backends: Dict[str, int] = field(default_factory=dict)
+    #: auto-selection flips that migrated a live task to the other backend
+    #: (deliberately separate from ``migrated_tuples``, which counts
+    #: repartitioning moves and is backend-invariant)
+    backend_switches: int = 0
     first_arrival: Optional[float] = None
     last_completion: float = 0.0
     failed: bool = False

@@ -44,7 +44,33 @@ from .runtime import RuntimeConfig, TopologyRuntime
 from .stores import StoreTask
 from .tuples import StreamTuple
 
-__all__ = ["RewirableRuntime", "SwitchRecord", "compute_backfill"]
+__all__ = [
+    "RewirableRuntime",
+    "SwitchRecord",
+    "WindowGrowthError",
+    "compute_backfill",
+]
+
+
+class WindowGrowthError(ValueError):
+    """A rewire widened a store's retention past already-evicted history.
+
+    Retention only ever *grows* across installs (shrink requests keep the
+    incumbent horizon as slack — surplus tuples fail the window checks, so
+    results stay exact and the wider history is still there if the window
+    widens again).  Growth is honest too: if nothing was evicted beyond the
+    new horizon yet, the store still holds every tuple the wider window can
+    reach and the install proceeds.  Only when history the new window needs
+    is *already gone* — the store's eviction high-water mark lies above the
+    new horizon — would the runtime silently under-report joins against the
+    missing interval; this error rejects that install loudly instead.
+
+    Unreachable through :class:`repro.JoinSession` (per-relation windows are
+    frozen at session construction, so every replanned store re-declares the
+    same retention); bare :meth:`RewirableRuntime.install` callers that grow
+    windows mid-stream must either install the widest window before evicting
+    or handle this error.
+    """
 
 
 def compute_backfill(
@@ -110,6 +136,12 @@ class RewirableRuntime(TopologyRuntime):
         first, so the switch falls exactly between two pushed tuples.
         """
         self.flush()
+        diff = diff_topologies(self.topology, topology)
+        # Reject widening installs that would join against evicted history
+        # *before* any state is mutated (windows map and per-stream high
+        # waters included), so a failed install leaves the runtime exactly
+        # on its old plan.
+        self._check_window_growth(diff, topology, now)
         if windows:
             self.windows.update(windows)
         # Watermark mode: an ingest stream the *old* topology did not read
@@ -130,8 +162,6 @@ class RewirableRuntime(TopologyRuntime):
                         self._stream_high.get(relation, float("-inf")),
                         mark + bound,
                     )
-        diff = diff_topologies(self.topology, topology)
-
         for store_id in diff.added:
             spec = topology.stores[store_id]
             self.tasks[store_id] = [
@@ -150,14 +180,17 @@ class RewirableRuntime(TopologyRuntime):
         for store_id in diff.repartitioned:
             self._repartition(topology.stores[store_id])
 
-        # Surviving stores keep their containers; only the retention horizon
-        # follows the new query mix (a new query may need a longer window).
+        # Surviving stores keep their containers; the retention horizon only
+        # ever grows (checked above against evicted history).  A narrower
+        # declared window keeps the incumbent horizon as *slack*: surplus
+        # tuples fail the window checks anyway, so results stay exact and a
+        # later re-widening still finds its history.
         preserved = 0
         for store_id in diff.surviving:
             spec = topology.stores[store_id]
             for task in self.tasks.get(store_id, []):
                 preserved += task.stored_tuples()
-                if task.retention != spec.retention:
+                if spec.retention > task.retention:
                     task.retention = spec.retention
 
         self.topology = topology
@@ -200,6 +233,14 @@ class RewirableRuntime(TopologyRuntime):
             if logical:
                 self.tasks.pop(store_id, None)
 
+        # Hybrid backend selection: with ``store_backend="auto"`` every task
+        # re-picks its container implementation from the statistics observed
+        # so far (live width, probe traffic); installs are the only switch
+        # points, so a cascade never changes backend mid-batch.
+        if self.config.store_backend == "auto":
+            self._reselect_backends()
+        self._publish_backend_choices()
+
         self.metrics.on_rewire(preserved)
         record = SwitchRecord(
             epoch=epoch,
@@ -210,6 +251,38 @@ class RewirableRuntime(TopologyRuntime):
         self.switches.append(record)
         return record
 
+    def _check_window_growth(
+        self, diff: TopologyDiff, topology: Topology, now: float
+    ) -> None:
+        """Raise :class:`WindowGrowthError` if a surviving store's declared
+        retention grew past history its tasks have already evicted.
+
+        The reference instant for "history the wider window can still
+        reach" is the earliest event time a future probe may carry: ``now``
+        under ordered arrivals, the global watermark under bounded
+        disorder (a straggler's trigger may lag ``now`` by up to the
+        bound; every recorded eviction horizon lay at or below the
+        watermark at the time, so the comparison is exact).
+        """
+        reference = self.watermark() if self._seq_visibility else now
+        for store_id in diff.surviving:
+            spec = topology.stores[store_id]
+            for task in self.tasks.get(store_id, []):
+                if (
+                    spec.retention > task.retention
+                    and task.evicted_through > reference - spec.retention
+                ):
+                    raise WindowGrowthError(
+                        f"store {store_id!r} widens retention "
+                        f"{task.retention:g} -> {spec.retention:g} at "
+                        f"t={now:g}, but history through "
+                        f"τ={task.evicted_through:g} is already evicted "
+                        f"(new window needs τ >= {reference - spec.retention:g}); "
+                        "results over the missing interval would be silently "
+                        "incomplete — install the widest window before "
+                        "eviction runs, or declare it upfront"
+                    )
+
     def _repartition(self, spec: StoreSpec) -> None:
         """Redistribute a store's state under a new partitioning scheme.
 
@@ -217,19 +290,33 @@ class RewirableRuntime(TopologyRuntime):
         into rows: tuples were placed by the old hash function, so they must
         be re-routed individually.  Surviving stores whose partitioning is
         unchanged keep their container objects — columnar arrays migrate
-        across installs without any row conversion.
+        across installs without any row conversion.  The fresh tasks inherit
+        the observed statistics (probe traffic, resolved auto backend,
+        eviction high-water) and the incumbent retention slack.
         """
         old_tasks = self.tasks.get(spec.store_id, [])
         tuples: List[StreamTuple] = []
+        retention = spec.retention
+        evicted_through = float("-inf")
+        probes_seen = 0
+        resolved = None
         for task in old_tasks:
             for container in task.containers.values():
                 tuples.extend(container.iter_tuples())
+            retention = max(retention, task.retention)
+            evicted_through = max(evicted_through, task.evicted_through)
+            probes_seen = max(probes_seen, task.probes_seen)
+            if resolved is None:
+                resolved = task.resolved_backend
         self.tasks[spec.store_id] = [
             StoreTask(
                 store_id=spec.store_id,
                 task_index=i,
-                retention=spec.retention,
+                retention=retention,
                 backend=self.config.store_backend,
+                resolved_backend=resolved,
+                probes_seen=probes_seen,
+                evicted_through=evicted_through,
             )
             for i in range(spec.parallelism)
         ]
@@ -238,6 +325,21 @@ class RewirableRuntime(TopologyRuntime):
                 self._epoch, tup
             )
         self.metrics.migrated_tuples += len(tuples)
+
+    def _reselect_backends(self) -> None:
+        """Re-pick every auto task's backend from its observed statistics.
+
+        A flip migrates the task's live containers to the other
+        implementation and counts in ``metrics.backend_switches``
+        (deliberately not ``migrated_tuples``, which stays invariant
+        between fixed and auto configurations).
+        """
+        for tasks in self.tasks.values():
+            for task in tasks:
+                if task.backend != "auto":
+                    continue
+                if task.switch_backend(task.preferred_backend()):
+                    self.metrics.backend_switches += 1
 
     def _task_for(self, spec: StoreSpec, tup: StreamTuple) -> int:
         if spec.parallelism <= 1:

@@ -66,6 +66,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.topology import ProbeRule, StoreRule, Topology
+from .columnar import ColumnarContainer, VectorBatch
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, EngineProfile
 from .routing import stable_hash, target_tasks
@@ -172,8 +173,18 @@ class RuntimeConfig:
     #: container implementation behind every store task: "python" keeps the
     #: dict/hash-index :class:`~repro.engine.stores.Container`, "columnar"
     #: selects the numpy-vectorized
-    #: :class:`~repro.engine.columnar.ColumnarContainer`
+    #: :class:`~repro.engine.columnar.ColumnarContainer`, and "auto" lets
+    #: every task pick between the two from observed live-width and
+    #: probe-rate statistics (re-evaluated at each
+    #: :meth:`~repro.engine.rewiring.RewirableRuntime.install`)
     store_backend: str = "python"
+    #: logical mode: carry probe survivors hop-to-hop as
+    #: :class:`~repro.engine.columnar.VectorBatch` index arrays on columnar
+    #: stores under a uniform window, materializing merged tuples only at
+    #: emission and store/python-backend boundaries.  Results and
+    #: ``checked``/flow metrics are exactly invariant to this flag; it only
+    #: defers (and often avoids) intermediate-tuple materialization.
+    vectorized_cascades: bool = True
     #: policy for inputs that violate the arrival-order contract: "raise"
     #: surfaces :class:`LateArrivalError`, "drop" discards the tuple before
     #: any state mutation and counts it in ``metrics.late_dropped`` (the
@@ -272,6 +283,7 @@ class TopologyRuntime:
         self._group_rel: Optional[str] = None
         self._last_ts = float("-inf")
         self._install_stores(topology)
+        self._publish_backend_choices()
 
     # ------------------------------------------------------------------
     # deployment
@@ -295,6 +307,19 @@ class TopologyRuntime:
             )
             for label, edge in topology.edges.items()
         }
+
+    def _publish_backend_choices(self) -> None:
+        """Surface every task's concrete backend in ``metrics.store_backends``.
+
+        With ``store_backend="auto"`` this is how callers observe the
+        per-task decisions; fixed configurations tally to a single entry.
+        """
+        tally: Dict[str, int] = {}
+        for tasks in self.tasks.values():
+            for task in tasks:
+                name = task.effective_backend
+                tally[name] = tally.get(name, 0) + 1
+        self.metrics.store_backends = tally
 
     def _compute_uniform_window(self) -> Optional[float]:
         """The shared window length, or ``None`` if windows differ.
@@ -469,21 +494,31 @@ class TopologyRuntime:
         """Rule lookup (adaptive runtimes archive rules across switches)."""
         return self.topology.rules_for(store_id, label)
 
-    def _send_logical(
-        self, label: str, tups: Sequence[StreamTuple], now: float
-    ) -> None:
-        """Deliver a batch of same-lineage tuples along one edge."""
+    def _send_logical(self, label: str, tups, now: float) -> None:
+        """Deliver a batch of same-lineage tuples along one edge.
+
+        ``tups`` is either a tuple sequence or a
+        :class:`~repro.engine.columnar.VectorBatch` carrying unmaterialized
+        probe survivors from the previous hop.  Vector form survives a hop
+        only while the target store is a single-task columnar container
+        under a uniform window; every other boundary (per-tuple routing,
+        raw storage, python-backend probes, query emission) materializes —
+        with identical results, order, and metrics either way.
+        """
         edge = self.edge_spec(label)
         store_id = edge.target_store
         spec = self._store_spec(store_id)
         tasks = self.tasks[store_id]
         rules = self.rules_for(store_id, label)
 
-        per_task: Dict[int, List[StreamTuple]]
+        vector = tups if isinstance(tups, VectorBatch) else None
+        per_task: Dict[int, object]
         if spec.parallelism <= 1:
-            per_task = {0: list(tups)}
             self.metrics.on_send(len(tups))
+            per_task = {0: vector if vector is not None else list(tups)}
         else:
+            if vector is not None:
+                tups = vector.materialize()
             per_task = {}
             fanout = 0
             for tup in tups:
@@ -497,42 +532,92 @@ class TopologyRuntime:
                         bucket.append(tup)
             self.metrics.on_send(fanout)
 
-        out_batches: Dict[str, List[StreamTuple]] = {}
+        vectorize = (
+            self.config.vectorized_cascades and self._uniform_window is not None
+        )
+        out_batches: Dict[str, object] = {}
         for task_index, batch in per_task.items():
             task = tasks[task_index]
+            vbatch = batch if isinstance(batch, VectorBatch) else None
             for rule in rules:
                 if isinstance(rule, StoreRule):
                     container = task.container(self._epoch)
                     width = 0
-                    for tup in batch:
+                    rows = vbatch.materialize() if vbatch is not None else batch
+                    for tup in rows:
                         container.insert(tup)
                         width += tup.width
                     self.metrics.on_store(width)
                 elif isinstance(rule, ProbeRule):
-                    oriented = self._oriented_for(rule, batch[0].lineage)
-                    matches, checked = probe_batch(
-                        task.container(self._epoch),
-                        batch,
-                        oriented,
-                        self.windows,
-                        self._uniform_window,
-                        self._seq_visibility,
+                    task.probes_seen += len(batch)
+                    container = task.container(self._epoch)
+                    lineage = (
+                        vbatch.lineage if vbatch is not None else batch[0].lineage
                     )
+                    oriented = self._oriented_for(rule, lineage)
+                    if vectorize and isinstance(container, ColumnarContainer):
+                        vb_in = (
+                            vbatch
+                            if vbatch is not None
+                            else VectorBatch.from_tuples(batch)
+                        )
+                        matches, checked = container.probe_batch_vector(
+                            vb_in,
+                            oriented,
+                            self._uniform_window,
+                            self._seq_visibility,
+                        )
+                    else:
+                        rows = (
+                            vbatch.materialize() if vbatch is not None else batch
+                        )
+                        matches, checked = probe_batch(
+                            container,
+                            rows,
+                            oriented,
+                            self.windows,
+                            self._uniform_window,
+                            self._seq_visibility,
+                        )
                     self.metrics.on_probe_batch(len(batch), checked)
-                    if matches:
-                        for query in rule.outputs:
-                            for match in matches:
-                                # logical completion is the triggering
-                                # instant itself (latency 0, as unbatched)
-                                self._emit(query, match, match.trigger_ts)
+                    if matches is not None and len(matches):
+                        if rule.outputs:
+                            emitted = (
+                                matches.materialize()
+                                if isinstance(matches, VectorBatch)
+                                else matches
+                            )
+                            for query in rule.outputs:
+                                for match in emitted:
+                                    # logical completion is the triggering
+                                    # instant itself (latency 0, as unbatched)
+                                    self._emit(query, match, match.trigger_ts)
                         for out_label in rule.out_edges:
-                            pending = out_batches.get(out_label)
-                            if pending is None:
-                                out_batches[out_label] = list(matches)
-                            else:
-                                pending.extend(matches)
+                            self._append_out(out_batches, out_label, matches)
         for out_label, batch in out_batches.items():
             self._send_logical(out_label, batch, now)
+
+    @staticmethod
+    def _append_out(out_batches: Dict[str, object], out_label: str, matches):
+        """Accumulate one rule's survivors into the pending hop payloads.
+
+        A vector batch stays vectorized only while it is the sole payload
+        for its edge; merging with another source materializes both sides
+        (rules sharing an out edge are rare — correctness over carriage).
+        """
+        pending = out_batches.get(out_label)
+        if pending is None:
+            out_batches[out_label] = (
+                matches if isinstance(matches, VectorBatch) else list(matches)
+            )
+            return
+        if isinstance(pending, VectorBatch):
+            pending = list(pending.materialize())
+            out_batches[out_label] = pending
+        if isinstance(matches, VectorBatch):
+            pending.extend(matches.materialize())
+        else:
+            pending.extend(matches)
 
     def _oriented_for(self, rule: ProbeRule, lineage) -> tuple:
         """Cached (probe attr, stored attr) orientation for a rule+lineage."""
@@ -646,6 +731,7 @@ class TopologyRuntime:
                 self.metrics.on_store(tup.width)
                 self._last_stored = True
             elif isinstance(rule, ProbeRule):
+                task.probes_seen += 1
                 oriented = self._oriented_for(rule, tup.lineage)
                 matches, checked = probe_batch(
                     task.container(self._epoch),

@@ -95,24 +95,35 @@ class StoreBackend(Protocol):
 
 
 def check_backend_name(name: str) -> str:
-    """Validate a backend configuration name against the registry."""
-    if name not in STORE_BACKENDS:
-        raise ValueError(
-            f"unknown store backend {name!r}; "
-            f"expected one of {sorted(STORE_BACKENDS)}"
-        )
-    return name
+    """Validate a backend *configuration* name.
+
+    Accepts every registered backend plus ``"auto"`` (per-task selection
+    from observed statistics); ``"auto"`` is a configuration-level policy,
+    not a container class, so :func:`make_backend` still rejects it — tasks
+    resolve it to a concrete backend first.
+    """
+    if name == "auto" or name in STORE_BACKENDS:
+        return name
+    raise ValueError(
+        f"unknown store backend {name!r}; "
+        f"expected one of {sorted(STORE_BACKENDS) + ['auto']}"
+    )
 
 
 def make_backend(name: str, bucket_width: Optional[float]) -> "StoreBackend":
-    """Instantiate a store backend by configuration name.
+    """Instantiate a store backend by concrete configuration name.
 
     The single registry behind every backend-name surface
     (:data:`STORE_BACKENDS`): ``RuntimeConfig`` validation, task
     construction, and the benchmark/experiment CLIs all consume it, so a
     new backend registers exactly once.
     """
-    return STORE_BACKENDS[check_backend_name(name)](bucket_width=bucket_width)
+    if name not in STORE_BACKENDS:
+        raise ValueError(
+            f"unknown store backend {name!r}; "
+            f"expected one of {sorted(STORE_BACKENDS)}"
+        )
+    return STORE_BACKENDS[name](bucket_width=bucket_width)
 
 
 class Container:
@@ -303,6 +314,14 @@ STORE_BACKENDS: Dict[str, Callable[..., "StoreBackend"]] = {
     "columnar": ColumnarContainer,
 }
 
+#: ``store_backend="auto"`` switches a task to the columnar backend once its
+#: live state is at least this many tuples — below it, numpy per-bucket
+#: dispatch overhead beats the dict index's O(1) candidate lists
+AUTO_WIDTH_THRESHOLD = 256
+#: ...and once the task has actually been probed this many times; a store
+#: that only absorbs inserts gains nothing from vectorized probes
+AUTO_PROBE_THRESHOLD = 32
+
 
 @dataclass
 class StoreTask:
@@ -314,8 +333,52 @@ class StoreTask:
     containers: Dict[int, StoreBackend] = field(default_factory=dict)
     #: timed-mode queueing state: when this server is next idle
     next_free: float = 0.0
-    #: container implementation for this task's epochs ("python"|"columnar")
+    #: configured container implementation ("python"|"columnar"|"auto")
     backend: str = "python"
+    #: concrete choice for ``backend="auto"`` tasks (set at install time;
+    #: ``None`` until the first statistics-driven selection runs)
+    resolved_backend: Optional[str] = None
+    #: probe tuples routed through this task (drives the auto heuristic)
+    probes_seen: int = 0
+    #: upper bound of actually-evicted history: retention growth past this
+    #: horizon would silently join against dropped state (see
+    #: :class:`~repro.engine.rewiring.WindowGrowthError`)
+    evicted_through: float = float("-inf")
+
+    @property
+    def effective_backend(self) -> str:
+        """The concrete backend new containers use (``"auto"`` resolved)."""
+        if self.resolved_backend is not None:
+            return self.resolved_backend
+        return "python" if self.backend == "auto" else self.backend
+
+    def preferred_backend(self) -> str:
+        """Statistics-driven choice for ``backend="auto"`` tasks: columnar
+        once live state is wide *and* the store is actually probed."""
+        if (
+            self.stored_tuples() >= AUTO_WIDTH_THRESHOLD
+            and self.probes_seen >= AUTO_PROBE_THRESHOLD
+        ):
+            return "columnar"
+        return "python"
+
+    def switch_backend(self, name: str) -> bool:
+        """Resolve the task to backend ``name``, migrating live state.
+
+        Every epoch container is rebuilt under the new backend (tuples
+        re-inserted in deterministic iteration order).  Returns ``True``
+        iff a migration actually happened.
+        """
+        changed = name != self.effective_backend
+        self.resolved_backend = name
+        if changed:
+            width = self._bucket_width()
+            for epoch, old in list(self.containers.items()):
+                fresh = make_backend(name, width)
+                for tup in old.iter_tuples():
+                    fresh.insert(tup)
+                self.containers[epoch] = fresh
+        return changed
 
     def _bucket_width(self) -> Optional[float]:
         if isinf(self.retention) or self.retention <= 0:
@@ -325,7 +388,7 @@ class StoreTask:
     def container(self, epoch: int) -> StoreBackend:
         cont = self.containers.get(epoch)
         if cont is None:
-            cont = make_backend(self.backend, self._bucket_width())
+            cont = make_backend(self.effective_backend, self._bucket_width())
             self.containers[epoch] = cont
         return cont
 
@@ -344,9 +407,13 @@ class StoreTask:
         """
         if self.retention == float("inf"):
             return 0
+        horizon = now - self.retention
         freed = 0
         for cont in self.containers.values():
-            freed += cont.evict_older_than(now - self.retention)
+            freed += cont.evict_older_than(horizon)
+        if freed and horizon > self.evicted_through:
+            # record history as lost only when tuples were actually dropped
+            self.evicted_through = horizon
         return freed
 
     def drop_epochs_before(self, epoch: int) -> int:
@@ -418,6 +485,11 @@ def probe_batch(
         return vectorized(probes, oriented, windows, uniform_window, seq_visibility)
     results: List[StreamTuple] = []
     checked = 0
+    if not probes or not len(container):
+        # nothing to probe (or against): in particular an empty store must
+        # not build a hash index it cannot use — a zero-survivor upstream
+        # hop would otherwise inflate ``index_rebuilds`` on untouched stores
+        return results, checked
     if not oriented:
         candidates = container.tuples
         for probe in probes:

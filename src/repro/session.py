@@ -251,8 +251,11 @@ class JoinSession:
         verification oracle).  Overridable per push.
     store_backend:
         Container implementation behind every store task: ``"python"``
-        (dict/hash-index) or ``"columnar"`` (numpy-vectorized, see
-        docs/engine.md).  Ignored when ``runtime_config`` is given.
+        (dict/hash-index), ``"columnar"`` (numpy-vectorized), or ``"auto"``
+        (each task picks between the two from observed live-width and
+        probe-rate statistics, re-evaluated at every replan — see
+        docs/engine.md; decisions surface in ``metrics.store_backends``).
+        Ignored when ``runtime_config`` is given.
     workers:
         Number of shard worker processes (default 1 = single-process).
         With ``workers=N > 1`` the session drives a

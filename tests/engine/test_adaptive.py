@@ -231,3 +231,92 @@ class TestAdaptiveRuntime:
         rt.run(inputs)
         assert rt.metrics.results_emitted > 0
         assert not rt.metrics.failed
+
+
+class TestWindowGrowth:
+    """Retention across rewires: grow-only, honest about evicted history.
+
+    A widening install is fine while the wider window can still reach every
+    needed tuple; once eviction has discarded history the new window would
+    join against, the install must fail loudly (``WindowGrowthError``)
+    instead of silently under-reporting.  A narrowing install keeps the
+    incumbent horizon as slack.
+    """
+
+    def _topology(self, window):
+        from repro.core import build_topology
+        from repro.core.optimizer import MultiQueryOptimizer
+
+        query = Query.of("q", "R.a=S.a")
+        catalog = StatisticsCatalog(
+            default_selectivity=0.1, default_window=window
+        )
+        for rel in ("R", "S"):
+            catalog.with_rate(rel, 10.0).with_window(rel, window)
+        cfg = OptimizerConfig(cluster=ClusterConfig(default_parallelism=1))
+        opt = MultiQueryOptimizer(catalog, cfg, solver="scipy")
+        return build_topology(opt.optimize([query]).plan, catalog, cfg.cluster)
+
+    def test_widening_before_eviction_proceeds(self):
+        from repro.engine import RewirableRuntime
+
+        rt = RewirableRuntime(
+            self._topology(2.0),
+            {"R": 2.0, "S": 2.0},
+            RuntimeConfig(mode="logical"),
+        )
+        rt.run([input_tuple("R", 0.5, {"a": 1})])
+        rt.install(self._topology(5.0), now=0.6, windows={"R": 5.0, "S": 5.0})
+        # the old window would have excluded this pair (gap 3.5 > 2)
+        rt.run([input_tuple("S", 4.0, {"a": 1})])
+        results = rt.results("q")
+        assert len(results) == 1
+        assert results[0].timestamps == {"R": 0.5, "S": 4.0}
+
+    def test_widening_past_evicted_history_raises(self):
+        from repro.engine import RewirableRuntime, WindowGrowthError
+
+        rt = RewirableRuntime(
+            self._topology(2.0),
+            {"R": 2.0, "S": 2.0},
+            RuntimeConfig(mode="logical", evict_every=1),
+        )
+        rt.run(
+            [
+                input_tuple("R", 0.5, {"a": 1}),
+                input_tuple("S", 1.0, {"a": 1}),
+                input_tuple("R", 4.0, {"a": 2}),  # evicts history through t=2
+            ]
+        )
+        assert len(rt.results("q")) == 1
+        with pytest.raises(WindowGrowthError, match="widens retention"):
+            rt.install(
+                self._topology(5.0), now=4.5, windows={"R": 5.0, "S": 5.0}
+            )
+        # the failed install left the runtime exactly on its old plan
+        assert rt.metrics.rewires == 0
+        assert rt.windows == {"R": 2.0, "S": 2.0}
+        rt.run([input_tuple("S", 5.0, {"a": 2})])
+        assert len(rt.results("q")) == 2
+
+    def test_shrink_keeps_retention_slack(self):
+        from repro.engine import RewirableRuntime
+
+        rt = RewirableRuntime(
+            self._topology(4.0),
+            {"R": 4.0, "S": 4.0},
+            RuntimeConfig(mode="logical"),
+        )
+        rt.run([input_tuple("R", 0.5, {"a": 1})])
+        rt.install(self._topology(2.0), now=1.0, windows={"R": 2.0, "S": 2.0})
+        # declared window shrank; the store keeps its wider horizon as slack
+        assert rt.tasks["R"][0].retention == 4.0
+        # surplus tuples fail the (narrower) window checks: no new result
+        rt.run([input_tuple("S", 3.0, {"a": 1})])
+        assert rt.results("q") == []
+        # re-widening finds its history still present: the old pair joins
+        rt.install(self._topology(4.0), now=3.5, windows={"R": 4.0, "S": 4.0})
+        rt.run([input_tuple("S", 4.2, {"a": 1})])
+        results = rt.results("q")
+        assert len(results) == 1
+        assert results[0].timestamps == {"R": 0.5, "S": 4.2}

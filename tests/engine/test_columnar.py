@@ -229,3 +229,141 @@ class TestColumnarProbing:
         assert sorted(x.key() for x in py.iter_tuples()) == sorted(
             x.key() for x in col.iter_tuples()
         )
+
+
+class TestVectorBatch:
+    """Unit contract of the hop-to-hop vector carriage: lifting, lazy
+    materialization, and exact parity of ``probe_batch_vector`` with the
+    materializing probe path."""
+
+    def test_from_tuples_round_trip(self):
+        from repro.engine.columnar import VectorBatch
+
+        tups = [s_tuple(1.0, a=1, seq=3), s_tuple(2.0, a=2, seq=5)]
+        vb = VectorBatch.from_tuples(tups)
+        assert len(vb) == 2
+        assert vb.materialize() == tups  # single-part chains: the inputs
+        assert vb.values_of("S.a") == [1, 2]
+        assert vb.values_of("S.missing") == [None, None]
+        assert vb.trigger.tolist() == [1.0, 2.0]
+        assert vb.seq.tolist() == [3, 5]
+        assert vb.lineage == frozenset({"S"})
+
+    def test_chain_materialization_matches_tuple_merge(self):
+        from repro.engine.columnar import VectorBatch
+
+        r = input_tuple("R", 2.0, {"a": 7, "b": 4})
+        r.seq = 5
+        s = s_tuple(1.0, a=7, b=4, seq=2)
+        cont = ColumnarContainer(bucket_width=1.0)
+        cont.insert(s)
+        out, checked = cont.probe_batch_vector(
+            VectorBatch.from_tuples([r]), ORIENTED, 10.0
+        )
+        assert checked == 1 and len(out) == 1
+        merged = out.materialize()[0]
+        expected = r.merge(s)
+        assert merged.values == expected.values
+        assert merged.timestamps == expected.timestamps
+        assert merged.seq == expected.seq == 5
+        assert merged.trigger == "R"
+        assert out.latest.tolist() == [expected.latest_ts]
+        assert out.earliest.tolist() == [expected.earliest_ts]
+        assert out.lineage == frozenset({"R", "S"})
+
+    @pytest.mark.parametrize("seq_visibility", [False, True])
+    def test_vector_probe_parity_randomized(self, seq_visibility):
+        """``probe_batch_vector`` == ``probe_batch`` over materialized
+        probes: same results, same order, same checked counts."""
+        from repro.engine.columnar import VectorBatch
+
+        rng = random.Random(99 + int(seq_visibility))
+        cont = ColumnarContainer(bucket_width=1.0)
+        t = 0.0
+        for i in range(300):
+            t += rng.random() * 0.1
+            cont.insert(
+                s_tuple(t, a=rng.randrange(4), b=rng.randrange(5), seq=i + 1)
+            )
+        probes = []
+        for _ in range(40):
+            p = input_tuple(
+                "R",
+                rng.uniform(1.0, t + 1.0),
+                {"a": rng.randrange(5), "b": rng.randrange(6)},
+            )
+            p.seq = rng.randrange(1, 320)
+            probes.append(p)
+        expected, c1 = probe_batch(
+            cont,
+            tuple(probes),
+            ORIENTED2,
+            {"R": 4.0, "S": 4.0},
+            4.0,
+            seq_visibility,
+        )
+        vb, c2 = cont.probe_batch_vector(
+            VectorBatch.from_tuples(probes), ORIENTED2, 4.0, seq_visibility
+        )
+        got = [] if vb is None else vb.materialize()
+        assert c1 == c2
+        assert [g.key() for g in got] == [e.key() for e in expected]
+
+    def test_empty_vector_probe_builds_no_columns(self):
+        """Zero-survivor guard: probing an empty store must not activate
+        lazy columns (downstream stores of an all-miss hop stay cold)."""
+        from repro.engine.columnar import VectorBatch
+
+        cont = ColumnarContainer(bucket_width=1.0)
+        out, checked = cont.probe_batch_vector(
+            VectorBatch.from_tuples([input_tuple("R", 1.0, {"a": 1})]),
+            ORIENTED,
+            10.0,
+        )
+        assert out is None and checked == 0
+        assert cont.column_builds == 0
+
+    def test_empty_python_container_probe_builds_no_index(self):
+        """Same guard on the dict backend: no hash index on an empty store."""
+        cont = Container(bucket_width=1.0)
+        probe = input_tuple("R", 1.0, {"a": 1})
+        results, checked = probe_batch(cont, (probe,), ORIENTED, WINDOWS)
+        assert results == [] and checked == 0
+        assert cont.index_rebuilds == 0
+
+
+class TestAutoBackendPlumbing:
+    def test_auto_is_a_config_name_not_a_container(self):
+        from repro.engine.stores import check_backend_name
+
+        check_backend_name("auto")  # accepted at config level
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_backend("auto", 1.0)  # but never a concrete container
+
+    def test_store_task_auto_bootstraps_python_and_switches(self):
+        task = StoreTask(
+            store_id="S", task_index=0, retention=8.0, backend="auto"
+        )
+        assert task.effective_backend == "python"
+        assert isinstance(task.container(0), Container)
+        task.container(0).insert(s_tuple(1.0, a=1))
+        assert task.switch_backend("columnar") is True
+        assert task.effective_backend == "columnar"
+        assert isinstance(task.containers[0], ColumnarContainer)
+        assert len(task.containers[0]) == 1  # state migrated, not dropped
+        assert task.switch_backend("columnar") is False  # idempotent
+
+    def test_preferred_backend_thresholds(self, monkeypatch):
+        import repro.engine.stores as stores_mod
+
+        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 2)
+        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 3)
+        task = StoreTask(
+            store_id="S", task_index=0, retention=8.0, backend="auto"
+        )
+        assert task.preferred_backend() == "python"  # cold store
+        task.container(0).insert(s_tuple(1.0, a=1))
+        task.container(0).insert(s_tuple(1.1, a=2))
+        assert task.preferred_backend() == "python"  # wide but unprobed
+        task.probes_seen = 3
+        assert task.preferred_backend() == "columnar"

@@ -844,3 +844,298 @@ class TestDifferentialSharded:
                 base.metrics, field
             ), field
         sharded.close()
+
+
+class TestDifferentialAutoBackend:
+    """``store_backend="auto"`` axis: per-store hybrid backend selection
+    must be observationally invisible.  Auto bootstraps every store on the
+    python backend and re-picks per task at ``install()`` from observed
+    width/probe statistics, so exact result *and* checked-metric parity
+    against both fixed backends is the contract — across shapes, arrival
+    modes, worker counts, and a mid-stream rewire that actually flips
+    container implementations.
+    """
+
+    @staticmethod
+    def _summary(runtime):
+        m = runtime.metrics
+        return (
+            m.inputs_ingested,
+            m.tuples_sent,
+            m.probes_executed,
+            m.comparisons,
+            m.results_emitted,
+            m.stored_units,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_auto_axis_exact(self, seed, workers):
+        from dataclasses import replace
+
+        from repro.engine import ShardedRuntime
+
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        if seed % 2:  # watermark arrivals on odd seeds
+            bound = random.Random(seed ^ 0xB0).choice([0.5, 1.0, 2.0])
+            feed = list(bounded_delay_feed(streams, bound, seed=seed))
+        else:
+            bound = None
+            feed = list(inputs)
+        solver = "scipy" if shape == "chain" else "greedy"
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver=solver
+        )
+        summaries, results = {}, {}
+        for backend in ("python", "columnar", "auto"):
+            config = RuntimeConfig(
+                mode="logical", disorder_bound=bound, store_backend=backend
+            )
+            if workers == 1:
+                runtime = TopologyRuntime(topology, windows, config)
+            else:
+                runtime = ShardedRuntime(
+                    topology,
+                    windows,
+                    replace(config, workers=workers),
+                    transport="inline",
+                )
+            runtime.run(_fresh_feed(feed))
+            summaries[backend] = self._summary(runtime)
+            results[backend] = {
+                q.name: result_keys(runtime.results(q.name)) for q in queries
+            }
+            if backend == "auto":
+                assert_engine_equals_reference(
+                    runtime, queries, streams, windows
+                )
+            if workers > 1:
+                runtime.close()
+        assert summaries["auto"] == summaries["python"] == summaries["columnar"]
+        assert results["auto"] == results["python"] == results["columnar"]
+
+    def test_auto_switch_mid_stream_keeps_parity(self, monkeypatch):
+        """Thresholds forced to 1: the install() re-selection flips every
+        live store to columnar mid-stream.  Results and checked metrics
+        must still equal both fixed backends run through the *same*
+        install, and the flip must not leak into ``migrated_tuples``."""
+        import repro.engine.stores as stores_mod
+        from repro.engine import RewirableRuntime
+
+        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 1)
+        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 1)
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(3)
+        )
+        topology = compile_topology(queries, relations, windows, parallelism, 3)
+        feed = list(inputs)
+        cut = len(feed) // 2
+        summaries, results, migrated = {}, {}, {}
+        for backend in ("python", "columnar", "auto"):
+            runtime = RewirableRuntime(
+                topology,
+                windows,
+                RuntimeConfig(mode="logical", store_backend=backend),
+            )
+            _fresh_feed(feed)
+            runtime.run(feed[:cut])
+            # a no-op plan diff: only the backend re-selection acts
+            runtime.install(topology, now=feed[cut - 1].trigger_ts)
+            runtime.run(feed[cut:])
+            summaries[backend] = self._summary(runtime)
+            results[backend] = {
+                q.name: result_keys(runtime.results(q.name)) for q in queries
+            }
+            migrated[backend] = runtime.metrics.migrated_tuples
+            if backend == "auto":
+                assert runtime.metrics.backend_switches > 0
+                assert runtime.metrics.store_backends.get("columnar", 0) > 0
+                assert_engine_equals_reference(
+                    runtime, queries, streams, windows
+                )
+            else:
+                assert runtime.metrics.backend_switches == 0
+        assert summaries["auto"] == summaries["python"] == summaries["columnar"]
+        assert results["auto"] == results["python"] == results["columnar"]
+        assert migrated["auto"] == migrated["python"] == migrated["columnar"]
+
+    def test_auto_backend_survives_rewire(self, monkeypatch):
+        """A session replan re-picks auto backends: wide, hot stores flip
+        to columnar containers, the choice survives the rewire, and the
+        post-rewire session still matches the oracle."""
+        import repro.engine.stores as stores_mod
+        from repro import JoinSession
+        from repro.engine.columnar import ColumnarContainer
+
+        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 8)
+        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 4)
+        session = JoinSession(window=2.5, solver="scipy", store_backend="auto")
+        session.add_query("q1", "R.a=S.a", "S.b=T.b")
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=20.0,
+                attributes={a: uniform_domain(6) for a in ATTRS[rel]},
+            )
+            for rel in ["R", "S", "T", "U"]
+        ]
+        streams, feed = generate_streams(specs, 6.0, seed=11)
+        cut = len(feed) // 2
+        for tup in feed[:cut]:
+            if tup.trigger in session.relations:
+                session.push_batch([tup])
+        session.flush()
+        # bootstrap: every store started on the python fallback
+        assert session.metrics.store_backends.get("columnar", 0) == 0
+
+        session.add_query("q2", "S.b=T.b", "T.c=U.c")
+        assert session.metrics.backend_switches >= 1
+        assert session.metrics.store_backends.get("columnar", 0) >= 1
+        runtime = session._runtime
+        flipped = [
+            task
+            for tasks in runtime.tasks.values()
+            for task in tasks
+            if task.resolved_backend == "columnar"
+        ]
+        assert flipped
+        for task in flipped:
+            assert all(
+                isinstance(c, ColumnarContainer)
+                for c in task.containers.values()
+            )
+        for tup in feed[cut:]:
+            if tup.trigger in session.relations:
+                session.push_batch([tup])
+        report = session.verify()
+        assert report.ok, report.describe()
+
+
+class TestDifferentialVectorized:
+    """``vectorized_cascades`` is a pure execution strategy: switching it
+    off must change nothing observable — same result sets and the same
+    probe/comparison/storage bookkeeping on every workload."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 4, 5])
+    def test_vectorized_toggle_invariant(self, seed):
+        shape = ("chain", "star", "cycle")[seed % 3]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        if seed % 2:  # watermark arrivals on odd seeds
+            bound = 1.0
+            feed = list(bounded_delay_feed(streams, bound, seed=seed))
+        else:
+            bound = None
+            feed = list(inputs)
+        solver = "scipy" if shape == "chain" else "greedy"
+        topology = compile_topology(
+            queries, relations, windows, parallelism, seed, solver=solver
+        )
+        summaries, results = {}, {}
+        for vectorized in (True, False):
+            runtime = TopologyRuntime(
+                topology,
+                windows,
+                RuntimeConfig(
+                    mode="logical",
+                    disorder_bound=bound,
+                    store_backend="columnar",
+                    vectorized_cascades=vectorized,
+                ),
+            )
+            runtime.run(_fresh_feed(feed))
+            m = runtime.metrics
+            summaries[vectorized] = (
+                m.inputs_ingested,
+                m.tuples_sent,
+                m.probes_executed,
+                m.comparisons,
+                m.results_emitted,
+                m.stored_units,
+            )
+            results[vectorized] = {
+                q.name: result_keys(runtime.results(q.name)) for q in queries
+            }
+        assert summaries[True] == summaries[False]
+        assert results[True] == results[False]
+
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_all_miss_feed_activates_nothing(self, backend):
+        """A hop with zero survivors must not touch downstream state: with
+        no S tuples at all, every probe lands on an empty store, so no lazy
+        index build or column activation may run anywhere (the batched
+        probe path used to build indexes on empty containers)."""
+        queries = [Query.of("q", "R.a=S.a", "S.b=T.b")]
+        relations = ["R", "S", "T"]
+        windows = {rel: 4.0 for rel in relations}
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=15.0,
+                attributes={a: uniform_domain(4) for a in ATTRS[rel]},
+            )
+            for rel in ("R", "T")  # S never arrives
+        ]
+        streams, feed = generate_streams(specs, 5.0, seed=23)
+        topology = compile_topology(queries, relations, windows, 1, 23)
+        runtime = TopologyRuntime(
+            topology,
+            windows,
+            RuntimeConfig(mode="logical", store_backend=backend),
+        )
+        runtime.run(feed)
+        assert runtime.metrics.probes_executed > 0
+        assert runtime.metrics.results_emitted == 0
+        for tasks in runtime.tasks.values():
+            for task in tasks:
+                for cont in task.containers.values():
+                    assert getattr(cont, "index_rebuilds", 0) == 0
+                    assert getattr(cont, "column_builds", 0) == 0
+
+
+class TestDifferentialAdaptiveWatermark:
+    """Satellite regression: the adaptive runtime used to reject
+    ``disorder_bound`` outright.  Epoch re-optimization now composes with
+    watermark mode — a disordered feed crosses epoch boundaries, plans are
+    installed under watermark time, and the result set still equals the
+    brute-force oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 9])
+    def test_adaptive_watermark_exact_across_epochs(self, seed):
+        rng = random.Random(seed ^ 0xA5A5)
+        query = Query.of("q", "R.a=S.a", "S.b=T.b")
+        relations = ["R", "S", "T"]
+        domain = rng.randint(2, 6)
+        specs = [
+            StreamSpec(
+                relation=rel,
+                rate=12.0,
+                attributes={a: uniform_domain(domain) for a in ATTRS[rel]},
+            )
+            for rel in relations
+        ]
+        streams, inputs = generate_streams(specs, 8.0, seed=seed)
+        feed = list(bounded_delay_feed(streams, 1.0, seed=seed ^ 0x77))
+        windows = {rel: 4.0 for rel in relations}
+        catalog = StatisticsCatalog(default_selectivity=0.05, default_window=4.0)
+        for rel in relations:
+            catalog.with_rate(rel, 12.0)
+        # a biased initial selectivity makes a mid-run plan switch likely
+        catalog.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.4)
+        config = OptimizerConfig(cluster=ClusterConfig(default_parallelism=2))
+        controller = AdaptiveController(catalog, [query], config, solver="scipy")
+        runtime = AdaptiveRuntime(
+            controller,
+            windows,
+            RuntimeConfig(mode="logical", disorder_bound=1.0),
+            epoch_length=2.0,
+        )
+        runtime.run(feed)
+        assert runtime.current_epoch >= 2
+        # every seed actually installs a new plan under watermark time
+        assert runtime.switches
+        assert_engine_equals_reference(runtime, [query], streams, windows)

@@ -55,15 +55,28 @@ class TestConfigValidation:
     def test_zero_bound_allowed(self):
         assert RuntimeConfig(disorder_bound=0.0).disorder_bound == 0.0
 
-    def test_adaptive_runtime_rejects_disorder(self):
+    def test_adaptive_runtime_accepts_disorder(self):
+        """Epoch re-optimization works on watermark-time runtimes: a
+        disordered feed crosses an epoch boundary and the late straggler
+        still joins (the adaptive runtime used to reject disorder_bound
+        outright; the differential suite proves oracle parity)."""
         query, topology, windows, catalog, config = small_topology()
         controller = AdaptiveController(catalog, [query], config, solver="scipy")
-        with pytest.raises(ValueError, match="timestamp-ordered"):
-            AdaptiveRuntime(
-                controller,
-                windows,
-                RuntimeConfig(mode="logical", disorder_bound=1.0),
-            )
+        runtime = AdaptiveRuntime(
+            controller,
+            windows,
+            RuntimeConfig(mode="logical", disorder_bound=1.0),
+            epoch_length=2.0,
+        )
+        feed = [
+            input_tuple("S", 1.0, {"a": 1}),
+            input_tuple("R", 2.5, {"a": 1}),  # crosses into epoch 1
+            input_tuple("R", 1.8, {"a": 1}),  # straggler, 0.7 late
+        ]
+        runtime.run(feed)
+        assert runtime.current_epoch == 1
+        results = runtime.results("q")
+        assert sorted(r.timestamps["R"] for r in results) == [1.8, 2.5]
 
 
 class TestSeqVisibility:
