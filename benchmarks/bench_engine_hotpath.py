@@ -13,6 +13,11 @@ engine regressions are measurable on their own:
   rare matches): the regime where the columnar backend's vectorized
   candidate filtering dominates per-tuple evaluation,
 * ``logical`` — an end-to-end logical-mode run of a 3-way join topology,
+* ``adaptive`` — steady-state :class:`repro.JoinSession` push throughput
+  with ``reoptimize_every`` on vs off on a drift-free feed: the plan never
+  changes, so the on/off ratio isolates the unified adaptivity loop's
+  bookkeeping (per-tuple epoch advancement + periodic re-optimization).
+  Gate with ``--max-adaptive-overhead`` (CI holds it at 10%),
 * ``sharded`` (opt-in via ``--workers N``) — an end-to-end run of a
   work-dominated two-predicate join through :class:`ShardedRuntime`:
   the feed is hash-partitioned over N worker processes, and the printed
@@ -455,6 +460,85 @@ def bench_sharded_runtime(
     return num_inputs / elapsed
 
 
+def bench_adaptive_session(
+    num_inputs: int,
+    a_domain: int,
+    rate: float,
+    window: float,
+    epoch: float,
+    seed: int,
+):
+    """Steady-state ``JoinSession`` push throughput, adaptivity on vs off.
+
+    A 3-way chain join (``R.a=S.a AND S.b=T.b``) over a uniform feed with
+    *declared* selectivities matching the feed's reality and deliberately
+    asymmetric (``a`` is 8x more selective than ``b``), so the optimal
+    plan is one-sided and immune to epoch-to-epoch measurement noise:
+    with ``reoptimize_every=epoch`` every boundary runs the full
+    observe → decide cycle (catalog fold, solve, signature compare) but
+    the plan never changes and nothing installs.  The on/off throughput
+    ratio therefore isolates the adaptivity loop's steady-state
+    bookkeeping — per-tuple epoch advancement plus periodic
+    re-optimization — rather than rewiring cost.
+
+    Measurement discipline: the feed is pre-generated, a warm prefix
+    (first plan build) is excluded from the timed region, and the two
+    sides are *interleaved* best-of-3 fresh sessions with a GC collection
+    before each timed region — one side always running second in a
+    process whose heap has grown would otherwise eat a one-sided GC
+    penalty several times the ~1ms-per-boundary signal the gate holds.
+    Returns ``(off_inputs_per_s, on_inputs_per_s, num_decisions)``.
+    """
+    import gc
+
+    from repro import JoinSession
+
+    b_domain = max(1, a_domain // 8)
+    domains = {"R": {"a": a_domain}, "S": {"a": a_domain, "b": b_domain},
+               "T": {"b": b_domain}}
+    rng = random.Random(seed)
+    feed = []
+    t = 0.0
+    for i in range(num_inputs):
+        t += rng.random() * (2.0 / rate)
+        rel = "RST"[i % 3]
+        feed.append(
+            (rel, {a: rng.randrange(d) for a, d in domains[rel].items()}, t)
+        )
+    warm = max(1, num_inputs // 20)
+
+    def run(reoptimize_every):
+        session = (
+            JoinSession(
+                window=window,
+                solver="greedy",
+                default_rate=rate / 3.0,
+                default_selectivity=1.0 / a_domain,
+                reoptimize_every=reoptimize_every,
+                record_streams=False,
+            )
+            .with_selectivity("R.a=S.a", 1.0 / a_domain)
+            .with_selectivity("S.b=T.b", 1.0 / b_domain)
+            .add_query("q", "R.a=S.a", "S.b=T.b")
+        )
+        for rel, values, ts in feed[:warm]:
+            session.push(rel, values, ts=ts)
+        gc.collect()
+        start = time.perf_counter()
+        for rel, values, ts in feed[warm:]:
+            session.push(rel, values, ts=ts)
+        return time.perf_counter() - start, len(session.decisions)
+
+    best_off = best_on = float("inf")
+    decisions = 0
+    for _ in range(3):
+        best_off = min(best_off, run(None)[0])
+        elapsed, decisions = run(epoch)
+        best_on = min(best_on, elapsed)
+    timed = num_inputs - warm
+    return timed / best_off, timed / best_on, decisions
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tuples", type=int, default=60_000)
@@ -523,6 +607,22 @@ def main() -> None:
         "speedup falls below this factor (CI scaling gate; requires "
         "--workers and a runner with >= N cores)",
     )
+    #: adaptive scenario: steady-state JoinSession push throughput with
+    #: reoptimize_every on vs off on a drift-free feed — the ratio isolates
+    #: the unified adaptivity loop's bookkeeping (see bench_adaptive_session)
+    parser.add_argument("--adaptive-inputs", type=int, default=9_000)
+    parser.add_argument("--adaptive-a-domain", type=int, default=400)
+    parser.add_argument("--adaptive-rate", type=float, default=600.0)
+    parser.add_argument("--adaptive-window", type=float, default=3.0)
+    parser.add_argument("--adaptive-epoch", type=float, default=2.0)
+    parser.add_argument(
+        "--max-adaptive-overhead",
+        type=float,
+        default=None,
+        help="exit nonzero if enabling reoptimize_every costs more than "
+        "this fraction of steady-state session throughput (CI gate that "
+        "the adaptivity loop's bookkeeping stays cheap; 0.10 = 10%%)",
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -559,9 +659,13 @@ def main() -> None:
         "cascade_inputs",
         "cascade_a_domain",
         "cascade_c_domain",
+        "adaptive_inputs",
+        "adaptive_a_domain",
     ):
         if getattr(args, name) <= 0:
             parser.error(f"--{name.replace('_', '-')} must be positive")
+    if args.adaptive_epoch <= 0:
+        parser.error("--adaptive-epoch must be positive")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.min_shard_speedup is not None and args.workers is None:
@@ -673,6 +777,23 @@ def main() -> None:
         f"chain, columnar backend)"
     )
 
+    adaptive_off, adaptive_on, adaptive_decisions = bench_adaptive_session(
+        args.adaptive_inputs,
+        args.adaptive_a_domain,
+        args.adaptive_rate,
+        args.adaptive_window,
+        args.adaptive_epoch,
+        args.seed + 6,
+    )
+    adaptive_overhead = 1.0 - adaptive_on / adaptive_off
+    print(
+        f"adaptive session:        off {adaptive_off:,.0f} inputs/s, "
+        f"reoptimize_every={args.adaptive_epoch:g} {adaptive_on:,.0f} "
+        f"inputs/s ({adaptive_overhead:+.1%} overhead, "
+        f"{adaptive_decisions} decisions, {args.adaptive_inputs} inputs, "
+        f"3-way chain)"
+    )
+
     shard_result = None
     if args.workers is not None:
         shard_args = (
@@ -704,7 +825,7 @@ def main() -> None:
 
     if args.json_out is not None:
         payload = {
-            "schema_version": 4,
+            "schema_version": 5,
             "backend": args.backend,
             "scenarios": {
                 name: {
@@ -725,6 +846,12 @@ def main() -> None:
                 "vectorized_ops_per_s": cascade_vec,
                 "speedup": cascade_speedup,
             },
+            "adaptive": {
+                "off_ops_per_s": adaptive_off,
+                "on_ops_per_s": adaptive_on,
+                "overhead": adaptive_overhead,
+                "decisions": adaptive_decisions,
+            },
             "sharded": shard_result,
             "params": {
                 name: getattr(args, name)
@@ -736,6 +863,8 @@ def main() -> None:
                     "wide_a_domain", "wide_b_domain", "wide_probes_per_insert",
                     "cascade_inputs", "cascade_a_domain", "cascade_c_domain",
                     "cascade_rate", "cascade_window", "cascade_payload",
+                    "adaptive_inputs", "adaptive_a_domain", "adaptive_rate",
+                    "adaptive_window", "adaptive_epoch",
                     "workers", "shard_inputs", "shard_rate",
                     "shard_retention", "shard_a_domain", "shard_b_domain",
                 )
@@ -781,6 +910,18 @@ def main() -> None:
         print(
             f"cascade gate: {cascade_speedup:.1f}x >= "
             f"{args.min_cascade_speedup:g}x OK"
+        )
+
+    if args.max_adaptive_overhead is not None:
+        if adaptive_overhead > args.max_adaptive_overhead:
+            raise SystemExit(
+                f"REGRESSION: adaptive-session overhead "
+                f"{adaptive_overhead:.1%} above allowed "
+                f"{args.max_adaptive_overhead:.0%}"
+            )
+        print(
+            f"adaptive gate: {adaptive_overhead:+.1%} <= "
+            f"{args.max_adaptive_overhead:.0%} OK"
         )
 
     if args.min_shard_speedup is not None:

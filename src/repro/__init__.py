@@ -49,8 +49,10 @@ from .core import (
     Topology,
     build_topology,
 )
+from .core.adaptive import DecisionRecord
 from .engine import (
     AdaptiveRuntime,
+    AdaptivityLoop,
     RewirableRuntime,
     RuntimeConfig,
     ShardFailedError,
@@ -102,6 +104,8 @@ __all__ = [
     "build_topology",
     # engine layer
     "AdaptiveRuntime",
+    "AdaptivityLoop",
+    "DecisionRecord",
     "RewirableRuntime",
     "RuntimeConfig",
     "ShardFailedError",

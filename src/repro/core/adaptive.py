@@ -27,6 +27,7 @@ from .topology import Topology, build_topology
 
 __all__ = [
     "AdaptiveController",
+    "DecisionRecord",
     "TopologyDiff",
     "diff_topologies",
     "plan_signature",

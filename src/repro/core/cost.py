@@ -17,6 +17,14 @@ B_{j+1}:
 Maintenance probe orders additionally pay a *delivery* step: the final
 result is sent into the MIR store.  The full result tuple knows all
 attributes, so delivery never broadcasts (χ = 1).
+
+Where the statistics come from: at planning time the catalog holds declared
+defaults; under adaptive execution every re-optimization re-evaluates this
+model against a catalog folded from the :class:`~repro.engine.statistics`
+rolling epoch windows (rates and selectivities as *measured* over the last
+``stats_window`` epochs), so the costs compared across epochs track the
+live workload rather than the bootstrap estimates — see
+:class:`~repro.engine.adaptivity.AdaptivityLoop`.
 """
 
 from __future__ import annotations

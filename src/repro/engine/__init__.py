@@ -6,6 +6,7 @@
 * :func:`reference_join` — brute-force oracle used by the test suite.
 """
 
+from .adaptivity import AdaptivityLoop
 from .columnar import ColumnarContainer, VectorBatch
 from .epochs import AdaptiveRuntime
 from .metrics import EngineMetrics
@@ -40,6 +41,7 @@ from .tuples import StreamTuple, input_tuple, intern_attr
 
 __all__ = [
     "AdaptiveRuntime",
+    "AdaptivityLoop",
     "CLASH_PROFILE",
     "ColumnarContainer",
     "Container",

@@ -38,6 +38,7 @@ from typing import Dict, Optional
 from ..core.adaptive import AdaptiveController
 from ..core.partitioning import ClusterConfig
 from ..core.topology import Topology
+from .adaptivity import AdaptivityLoop
 from .rewiring import RewirableRuntime, SwitchRecord
 from .runtime import RuntimeConfig
 from .statistics import EpochStatistics
@@ -47,7 +48,13 @@ __all__ = ["AdaptiveRuntime", "SwitchRecord"]
 
 
 class AdaptiveRuntime(RewirableRuntime):
-    """A runtime that re-optimizes itself at epoch boundaries."""
+    """A runtime that re-optimizes itself at epoch boundaries.
+
+    Compatibility shim: the epoch machinery itself lives in
+    :class:`~repro.engine.adaptivity.AdaptivityLoop`; this class merely
+    wires the runtime's ingest/boundary hooks into the loop and exposes
+    the loop's state under the historical attribute names.
+    """
 
     def __init__(
         self,
@@ -57,48 +64,59 @@ class AdaptiveRuntime(RewirableRuntime):
         epoch_length: float = 1.0,
         cluster: Optional[ClusterConfig] = None,
         adapt: bool = True,
+        stats_window: int = 1,
     ) -> None:
-        self.controller = controller
-        self.epoch_length = epoch_length
-        self.cluster = cluster or controller.config.cluster
-        self.adapt = adapt
-        topology = controller.initial_topology(self.cluster)
+        self.loop = AdaptivityLoop(
+            controller,
+            epoch_length=epoch_length,
+            cluster=cluster or controller.config.cluster,
+            adapt=adapt,
+            stats_window=stats_window,
+        )
+        topology = controller.initial_topology(self.loop.cluster)
         super().__init__(topology, windows, config)
-        self.current_epoch = 0
-        self.stats = EpochStatistics(epoch=0)
-        self.pending: Dict[int, Topology] = {}
+        self.loop.attach(self)
 
     # ------------------------------------------------------------------
-    # epoch machinery
+    # epoch machinery — delegated to the loop
     # ------------------------------------------------------------------
     def on_input_boundary(self, now: float) -> None:
-        epoch = int(now // self.epoch_length)
-        while self.current_epoch < epoch:
-            closing = self.current_epoch
-            self._close_epoch(closing)
-            self.current_epoch += 1
-            topology = self.pending.pop(self.current_epoch, None)
-            if topology is not None:
-                self.install(
-                    topology,
-                    now=self.current_epoch * self.epoch_length,
-                    epoch=self.current_epoch,
-                )
+        self.loop.advance(now)
 
     def on_ingest(self, tup: StreamTuple) -> None:
-        self.stats.observe(tup)
+        self.loop.observe(tup)
 
-    def _close_epoch(self, epoch: int) -> None:
-        stats = self.stats
-        self.stats = EpochStatistics(epoch=epoch + 1)
-        if not self.adapt:
-            return
-        measured = stats.fold_into(
-            self.controller.base_catalog,
-            self.controller.query_list,
-            self.epoch_length,
-        )
-        topology = self.controller.decide(epoch, measured, self.cluster)
-        if topology is not None:
-            # decided while epoch+1 runs; in effect from epoch+2 (Fig. 5)
-            self.pending[epoch + 2] = topology
+    # ------------------------------------------------------------------
+    # historical surface
+    # ------------------------------------------------------------------
+    @property
+    def controller(self) -> AdaptiveController:
+        return self.loop.controller
+
+    @property
+    def epoch_length(self) -> float:
+        return self.loop.epoch_length
+
+    @property
+    def cluster(self) -> Optional[ClusterConfig]:
+        return self.loop.cluster
+
+    @property
+    def adapt(self) -> bool:
+        return self.loop.adapt
+
+    @adapt.setter
+    def adapt(self, value: bool) -> None:
+        self.loop.adapt = value
+
+    @property
+    def current_epoch(self) -> int:
+        return self.loop.current_epoch
+
+    @property
+    def stats(self) -> EpochStatistics:
+        return self.loop.stats
+
+    @property
+    def pending(self) -> Dict[int, Topology]:
+        return self.loop.pending

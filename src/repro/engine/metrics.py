@@ -12,9 +12,12 @@ The paper's headline measurements map to:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.adaptive import DecisionRecord
 
 __all__ = ["EngineMetrics"]
 
@@ -54,6 +57,10 @@ class EngineMetrics:
     #: (deliberately separate from ``migrated_tuples``, which counts
     #: repartitioning moves and is backend-invariant)
     backend_switches: int = 0
+    #: every optimizer consultation routed through the adaptivity loop —
+    #: epoch boundaries, query churn, and explicit ``reoptimize()`` alike
+    #: (:class:`~repro.core.adaptive.DecisionRecord` instances)
+    decisions: List["DecisionRecord"] = field(default_factory=list)
     first_arrival: Optional[float] = None
     last_completion: float = 0.0
     failed: bool = False
@@ -95,6 +102,10 @@ class EngineMetrics:
         self.latencies.append(latency)
         self.latency_samples.append((completion_ts, latency))
         self.last_completion = max(self.last_completion, completion_ts)
+
+    def on_decision(self, record: "DecisionRecord") -> None:
+        """The adaptivity loop consulted the optimizer (changed or not)."""
+        self.decisions.append(record)
 
     def on_rewire(self, preserved_tuples: int) -> None:
         """A topology switch on a live runtime kept ``preserved_tuples``

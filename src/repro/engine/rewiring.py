@@ -165,12 +165,7 @@ class RewirableRuntime(TopologyRuntime):
         for store_id in diff.added:
             spec = topology.stores[store_id]
             self.tasks[store_id] = [
-                StoreTask(
-                    store_id=store_id,
-                    task_index=i,
-                    retention=spec.retention,
-                    backend=self.config.store_backend,
-                )
+                self._new_store_task(store_id, i, spec.retention)
                 for i in range(spec.parallelism)
             ]
 
@@ -317,6 +312,8 @@ class RewirableRuntime(TopologyRuntime):
                 resolved_backend=resolved,
                 probes_seen=probes_seen,
                 evicted_through=evicted_through,
+                auto_width_threshold=self.config.auto_width_threshold,
+                auto_probe_threshold=self.config.auto_probe_threshold,
             )
             for i in range(spec.parallelism)
         ]

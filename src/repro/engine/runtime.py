@@ -70,7 +70,14 @@ from .columnar import ColumnarContainer, VectorBatch
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, EngineProfile
 from .routing import stable_hash, target_tasks
-from .stores import check_backend_name, StoreTask, orient_predicates, probe_batch
+from .stores import (
+    AUTO_PROBE_THRESHOLD,
+    AUTO_WIDTH_THRESHOLD,
+    StoreTask,
+    check_backend_name,
+    orient_predicates,
+    probe_batch,
+)
 from .tuples import StreamTuple
 
 __all__ = [
@@ -178,6 +185,13 @@ class RuntimeConfig:
     #: probe-rate statistics (re-evaluated at each
     #: :meth:`~repro.engine.rewiring.RewirableRuntime.install`)
     store_backend: str = "python"
+    #: ``store_backend="auto"``: a task flips to the columnar container once
+    #: its live state holds at least this many tuples (below it, numpy
+    #: per-bucket dispatch overhead beats the dict index) ...
+    auto_width_threshold: int = AUTO_WIDTH_THRESHOLD
+    #: ... *and* it has been probed at least this many times (a store that
+    #: only absorbs inserts gains nothing from vectorized probes)
+    auto_probe_threshold: int = AUTO_PROBE_THRESHOLD
     #: logical mode: carry probe survivors hop-to-hop as
     #: :class:`~repro.engine.columnar.VectorBatch` index arrays on columnar
     #: stores under a uniform window, materializing merged tuples only at
@@ -199,6 +213,8 @@ class RuntimeConfig:
         if self.mode not in ("logical", "timed"):
             raise ValueError(f"unknown runtime mode {self.mode!r}")
         check_backend_name(self.store_backend)
+        if self.auto_width_threshold < 0 or self.auto_probe_threshold < 0:
+            raise ValueError("auto-backend thresholds must be >= 0")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if self.on_late not in ("raise", "drop"):
@@ -288,16 +304,25 @@ class TopologyRuntime:
     # ------------------------------------------------------------------
     # deployment
     # ------------------------------------------------------------------
+    def _new_store_task(
+        self, store_id: str, task_index: int, retention: float
+    ) -> StoreTask:
+        """Construct a task carrying the config's backend + auto thresholds
+        (single construction seam for deployment, rewire, and repartition)."""
+        return StoreTask(
+            store_id=store_id,
+            task_index=task_index,
+            retention=retention,
+            backend=self.config.store_backend,
+            auto_width_threshold=self.config.auto_width_threshold,
+            auto_probe_threshold=self.config.auto_probe_threshold,
+        )
+
     def _install_stores(self, topology: Topology) -> None:
         for store_id, spec in topology.stores.items():
             if store_id not in self.tasks:
                 self.tasks[store_id] = [
-                    StoreTask(
-                        store_id=store_id,
-                        task_index=i,
-                        retention=spec.retention,
-                        backend=self.config.store_backend,
-                    )
+                    self._new_store_task(store_id, i, spec.retention)
                     for i in range(spec.parallelism)
                 ]
         self._storage_edges = {
@@ -632,10 +657,33 @@ class TopologyRuntime:
     # timed mode
     # ------------------------------------------------------------------
     def _run_timed(self, inputs: Iterable[StreamTuple]) -> None:
+        # Consecutive same-stream arrivals coalesce into one heap event
+        # (capped at batch_size): inputs are instantaneous — they pay no
+        # service time and merely fan messages out — and each tuple in a
+        # group is still ingested, boundary-hooked, and fanned out at its
+        # *own* event timestamp, so message schedule times are unchanged.
+        # What moves is only the interleaving against already-queued
+        # messages, which the simulation never promised (in-flight messages
+        # always race event time).  batch_size=1 restores the seed's
+        # per-tuple heap exactly; the same guard as logical micro-batching
+        # applies — overridden per-input hooks (adaptive epoch switches must
+        # not reorder in-flight messages across an install) or a memory
+        # budget (the overflow point is defined per event) force it.
         heap: List[Tuple[float, int, str, tuple]] = []
         seq = itertools.count()
+        cap = self.config.batch_size if self._batchable else 1
+        group: List[StreamTuple] = []
         for tup in inputs:
-            heapq.heappush(heap, (tup.trigger_ts, next(seq), "input", (tup,)))
+            if group and (tup.trigger != group[0].trigger or len(group) >= cap):
+                heapq.heappush(
+                    heap, (group[0].trigger_ts, next(seq), "input", tuple(group))
+                )
+                group = []
+            group.append(tup)
+        if group:
+            heapq.heappush(
+                heap, (group[0].trigger_ts, next(seq), "input", tuple(group))
+            )
 
         profile = self.config.profile
         while heap:
@@ -643,12 +691,18 @@ class TopologyRuntime:
                 break
             now, _, kind, payload = heapq.heappop(heap)
             if kind == "input":
-                (tup,) = payload
-                self.on_input_boundary(now)
-                self.metrics.on_input(now)
-                self.on_ingest(tup)
-                for label in self.ingest_edges(tup):
-                    self._send_timed(heap, seq, label, tup, now)
+                for tup in payload:
+                    if self.metrics.failed:
+                        break
+                    at = tup.trigger_ts
+                    self.on_input_boundary(at)
+                    self.metrics.on_input(at)
+                    self.on_ingest(tup)
+                    for label in self.ingest_edges(tup):
+                        self._send_timed(heap, seq, label, tup, at)
+                    self._maybe_evict(at)
+                    self._check_memory()
+                continue
             else:  # message at a task
                 label, store_id, task_index, tup = payload
                 task = self.tasks[store_id][task_index]

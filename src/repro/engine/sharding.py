@@ -82,6 +82,7 @@ from .runtime import (
     global_watermark,
     validate_arrival,
 )
+from .statistics import EpochStatistics
 from .tuples import StreamTuple
 
 __all__ = ["ShardFailedError", "ShardRouter", "ShardedRuntime"]
@@ -378,11 +379,18 @@ class _WorkerState:
         windows: Dict[str, float],
         config: RuntimeConfig,
         inline: bool = False,
+        collect_stats: bool = False,
     ) -> None:
         self.shard = shard
         self.router = router
         self.config = config
         self.inline = inline
+        self.collect_stats = collect_stats
+        #: inputs observed shard-side since the last drain (adaptivity
+        #: fold-back); partitioned relations are observed wherever they
+        #: land (exactly one shard), broadcast relations only on shard 0,
+        #: so globally every accepted input is observed exactly once
+        self.stats = EpochStatistics(epoch=0)
         self._crash_countdown: Optional[int] = None
         self.runtime: _ShardWorkerRuntime
         self._build(topology, windows, {}, {})
@@ -417,6 +425,8 @@ class _WorkerState:
         if cmd == "batch":
             _, tuples, highs = msg
             runtime = self.runtime
+            collect = self.collect_stats
+            partitioned = self.router.partitioned
             for tup in tuples:
                 if self._crash_countdown is not None:
                     self._crash_countdown -= 1
@@ -427,6 +437,8 @@ class _WorkerState:
                             )
                         os._exit(3)
                 runtime.process(tup)
+                if collect and (tup.trigger in partitioned or self.shard == 0):
+                    self.stats.observe(tup)
             # apply the driver's high-water snapshot only after the batch:
             # every tuple shipped later was validated against highs at least
             # this recent, so the advanced eviction watermark stays safe
@@ -444,9 +456,17 @@ class _WorkerState:
             flow = {name: getattr(metrics, name) for name in _FLOW_FIELDS}
             flow["stored_units"] = metrics.stored_units
             flow["peak_stored_units"] = metrics.peak_stored_units
-            return ("drained", log, flow, runtime.stored_tuples_total())
+            delta = None
+            if self.collect_stats:
+                delta, self.stats = self.stats, EpochStatistics(epoch=0)
+            return ("drained", log, flow, runtime.stored_tuples_total(), delta)
         if cmd == "install":
-            _, topology, windows, now = msg
+            _, topology, windows, now, router = msg
+            # the sticky router is stable for surviving relations, but a new
+            # plan may introduce relations whose routing (and therefore
+            # emission attribution + stats dedup) only the fresh router knows
+            self.router = router
+            self.runtime._partitioned = router.partitioned
             metrics = self.runtime.metrics
             pre_preserved = metrics.preserved_tuples
             pre_backfilled = metrics.backfilled_tuples
@@ -468,7 +488,11 @@ class _WorkerState:
                 state[store_id] = tuples
             return ("state", state)
         if cmd == "reset":
-            _, topology, windows, highs, state = msg
+            _, topology, windows, highs, state, router = msg
+            # a reshard changed the partition class: without the new router
+            # the worker would attribute emissions (and observe stats) by
+            # the retired partitioned set
+            self.router = router
             self._build(topology, windows, highs, state)
             return ("reset",)
         if cmd == "crash_after":
@@ -489,10 +513,15 @@ class _WorkerState:
                 stream_high[relation] = ts
 
 
-def _shard_worker_main(conn, shard, router, topology, windows, config) -> None:
+def _shard_worker_main(
+    conn, shard, router, topology, windows, config, collect_stats=False
+) -> None:
     """Process entry point: a recv/handle/reply loop over one pipe."""
     try:
-        state = _WorkerState(shard, router, topology, windows, config)
+        state = _WorkerState(
+            shard, router, topology, windows, config,
+            collect_stats=collect_stats,
+        )
         while True:
             try:
                 msg = conn.recv()
@@ -525,9 +554,11 @@ def _shard_worker_main(conn, shard, router, topology, windows, config) -> None:
 class _InlineShard:
     """In-process transport: same protocol, no pipes (tests, debugging)."""
 
-    def __init__(self, shard, router, topology, windows, config):
+    def __init__(self, shard, router, topology, windows, config,
+                 collect_stats=False):
         self._state = _WorkerState(
-            shard, router, topology, windows, config, inline=True
+            shard, router, topology, windows, config, inline=True,
+            collect_stats=collect_stats,
         )
         self._reply = None
 
@@ -556,12 +587,16 @@ class _InlineShard:
 class _ProcessShard:
     """One worker process plus its duplex pipe."""
 
-    def __init__(self, ctx, shard, router, topology, windows, config):
+    def __init__(self, ctx, shard, router, topology, windows, config,
+                 collect_stats=False):
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.proc = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, shard, router, topology, windows, config),
+            args=(
+                child_conn, shard, router, topology, windows, config,
+                collect_stats,
+            ),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
@@ -629,7 +664,14 @@ class ShardedRuntime:
         windows: Dict[str, float],
         config: Optional[RuntimeConfig] = None,
         transport: str = "process",
+        stats_sink=None,
     ) -> None:
+        """``stats_sink`` enables shard-side statistics fold-back: each
+        worker observes its accepted inputs into an
+        :class:`~repro.engine.statistics.EpochStatistics` delta (broadcast
+        relations deduped to shard 0) and every :meth:`flush` hands the
+        per-worker deltas to the callable — how the adaptivity loop sees
+        sharded traffic.  ``None`` (default) disables collection."""
         self.config = config or RuntimeConfig(workers=2)
         if self.config.mode != "logical":
             raise ValueError("sharded execution supports logical mode only")
@@ -660,6 +702,7 @@ class ShardedRuntime:
             {} for _ in range(self.num_shards)
         ]
         self._stored: List[int] = [0] * self.num_shards
+        self._stats_sink = stats_sink
         self._closed = False
         # a worker runs the plain single-process engine on its shard
         self._worker_config = replace(
@@ -671,11 +714,12 @@ class ShardedRuntime:
         )
 
     def _spawn_pool(self):
+        collect = self._stats_sink is not None
         if self.transport == "inline":
             return [
                 _InlineShard(
                     idx, self.router, self.topology, self.windows,
-                    self._worker_config,
+                    self._worker_config, collect_stats=collect,
                 )
                 for idx in range(self.num_shards)
             ]
@@ -686,7 +730,7 @@ class ShardedRuntime:
         return [
             _ProcessShard(
                 ctx, idx, self.router, self.topology, self.windows,
-                self._worker_config,
+                self._worker_config, collect_stats=collect,
             )
             for idx in range(self.num_shards)
         ]
@@ -761,9 +805,11 @@ class ShardedRuntime:
         replies = self._broadcast_collect(("drain", snapshot))
         merged: List[Tuple[int, int, int, str, StreamTuple]] = []
         for idx, reply in enumerate(replies):
-            _, log, flow, stored = reply
+            _, log, flow, stored, stats_delta = reply
             self._worker_flow[idx] = flow
             self._stored[idx] = stored
+            if stats_delta is not None and self._stats_sink is not None:
+                self._stats_sink(stats_delta)
             for pos, (query, result) in enumerate(log):
                 merged.append((result.seq, idx, pos, query, result))
         merged.sort(key=lambda entry: entry[:3])
@@ -861,7 +907,7 @@ class ShardedRuntime:
         diff = diff_topologies(self.topology, topology)
         if new_router.stable_over(self.router):
             replies = self._broadcast_collect(
-                ("install", topology, dict(self.windows), now)
+                ("install", topology, dict(self.windows), now, new_router)
             )
             # worker-local preserved counts sum to the global count:
             # partitioned store state is disjoint, broadcast state counts
@@ -935,7 +981,10 @@ class ShardedRuntime:
             }
             self._send(
                 idx,
-                ("reset", topology, dict(self.windows), highs, shard_state),
+                (
+                    "reset", topology, dict(self.windows), highs,
+                    shard_state, new_router,
+                ),
             )
         self._collect_all()
         # driver-side migration counts like banked worker flow — folded into

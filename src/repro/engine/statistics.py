@@ -37,11 +37,17 @@ class EpochStatistics:
     counts: Dict[str, int] = field(default_factory=dict)
     histograms: Dict[str, Counter] = field(default_factory=dict)
     _saturated: set = field(default_factory=set)
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
 
     def observe(self, tup: StreamTuple) -> None:
         """Record an arriving *input* tuple (not intermediates)."""
         relation = tup.trigger
         self.counts[relation] = self.counts.get(relation, 0) + 1
+        if self.first_ts is None:
+            self.first_ts = tup.trigger_ts
+        if self.last_ts is None or tup.trigger_ts > self.last_ts:
+            self.last_ts = tup.trigger_ts
         for attr, value in tup.values.items():
             if attr in self._saturated:
                 continue
@@ -49,6 +55,27 @@ class EpochStatistics:
             hist[value] += 1
             if len(hist) > MAX_HISTOGRAM_ENTRIES:
                 self._saturated.add(attr)
+
+    def merge(self, other: "EpochStatistics") -> None:
+        """Fold another accumulator into this one (shard fold-back)."""
+        for relation, count in other.counts.items():
+            self.counts[relation] = self.counts.get(relation, 0) + count
+        self._saturated |= other._saturated
+        for attr, hist in other.histograms.items():
+            if attr in self._saturated:
+                continue
+            mine = self.histograms.setdefault(attr, Counter())
+            mine.update(hist)
+            if len(mine) > MAX_HISTOGRAM_ENTRIES:
+                self._saturated.add(attr)
+        if other.first_ts is not None and (
+            self.first_ts is None or other.first_ts < self.first_ts
+        ):
+            self.first_ts = other.first_ts
+        if other.last_ts is not None and (
+            self.last_ts is None or other.last_ts > self.last_ts
+        ):
+            self.last_ts = other.last_ts
 
     # ------------------------------------------------------------------
     def rate(self, relation: str, epoch_length: float) -> Optional[float]:

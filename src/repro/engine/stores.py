@@ -344,6 +344,11 @@ class StoreTask:
     #: horizon would silently join against dropped state (see
     #: :class:`~repro.engine.rewiring.WindowGrowthError`)
     evicted_through: float = float("-inf")
+    #: per-task copies of the auto-selection thresholds; the runtime threads
+    #: :class:`~repro.engine.runtime.RuntimeConfig` knobs here so deployments
+    #: tune the heuristic without monkeypatching the module constants
+    auto_width_threshold: int = AUTO_WIDTH_THRESHOLD
+    auto_probe_threshold: int = AUTO_PROBE_THRESHOLD
 
     @property
     def effective_backend(self) -> str:
@@ -356,8 +361,8 @@ class StoreTask:
         """Statistics-driven choice for ``backend="auto"`` tasks: columnar
         once live state is wide *and* the store is actually probed."""
         if (
-            self.stored_tuples() >= AUTO_WIDTH_THRESHOLD
-            and self.probes_seen >= AUTO_PROBE_THRESHOLD
+            self.stored_tuples() >= self.auto_width_threshold
+            and self.probes_seen >= self.auto_probe_threshold
         ):
             return "columnar"
         return "python"

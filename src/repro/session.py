@@ -55,6 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .core.adaptive import AdaptiveController, DecisionRecord, plan_signature
 from .core.catalog import StatisticsCatalog
 from .core.ilp_builder import OptimizerConfig
 from .core.optimizer import MultiQueryOptimizer, choose_solver
@@ -63,6 +64,7 @@ from .core.plan import SharedPlan
 from .core.predicates import JoinPredicate, as_predicate
 from .core.query import Query
 from .core.topology import Topology, build_topology
+from .engine.adaptivity import AdaptivityLoop
 from .engine.metrics import EngineMetrics
 from .engine.reference import describe_result_diff, reference_join, result_keys
 from .engine.rewiring import RewirableRuntime, SwitchRecord
@@ -212,9 +214,11 @@ class _SessionShardedRuntime(ShardedRuntime):
     session (same seq order) regardless of worker scheduling.
     """
 
-    def __init__(self, topology, windows, config, listeners, transport):
+    def __init__(self, topology, windows, config, listeners, transport, stats_sink=None):
         self._listeners: Dict[str, List[Callable]] = listeners
-        super().__init__(topology, windows, config, transport=transport)
+        super().__init__(
+            topology, windows, config, transport=transport, stats_sink=stats_sink
+        )
 
     def _emit(self, query: str, result: StreamTuple, completion_ts: float) -> None:
         super()._emit(query, result, completion_ts)
@@ -281,6 +285,31 @@ class JoinSession:
         Defer the first plan until this many tuples were pushed, so the
         initial plan already uses *observed* statistics (0 plans at the
         first push).
+    reoptimize_every:
+        Event-time epoch length for periodic re-optimization (Section VI).
+        ``None`` (the default) keeps the legacy behaviour: the plan only
+        changes on query churn or an explicit :meth:`reoptimize`.  With an
+        interval ``E`` the session drives the same
+        :class:`~repro.engine.adaptivity.AdaptivityLoop` as
+        :class:`~repro.engine.epochs.AdaptiveRuntime`: statistics from
+        epoch *i* are measured at the first push of epoch *i+1* and a
+        changed plan is installed live (state migration + backfill) at the
+        start of epoch *i+2* — including under ``workers > 1``, where the
+        shard workers observe statistics locally and the driver folds
+        their deltas back at batch boundaries.  Every optimizer
+        consultation lands in ``metrics.decisions`` as a
+        :class:`~repro.core.adaptive.DecisionRecord`.
+    stats_window:
+        How many closed epochs of statistics inform each periodic decision
+        (default 1 — decide from the previous epoch only, the paper's
+        schedule).  Only meaningful with ``reoptimize_every``.
+    auto_width_threshold / auto_probe_threshold:
+        Tuning knobs for ``store_backend="auto"``: a store task prefers
+        the columnar container once its live width reaches
+        ``auto_width_threshold`` *and* its probe count reaches
+        ``auto_probe_threshold`` (defaults 256 / 32).  Ignored unless the
+        backend is ``"auto"``; conflict-checked against an explicit
+        ``runtime_config``.
     """
 
     def __init__(
@@ -300,9 +329,15 @@ class JoinSession:
         runtime_config: Optional[RuntimeConfig] = None,
         record_streams: bool = True,
         warmup: int = 0,
+        reoptimize_every: Optional[float] = None,
+        stats_window: int = 1,
+        auto_width_threshold: Optional[int] = None,
+        auto_probe_threshold: Optional[int] = None,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
+        if reoptimize_every is not None and reoptimize_every <= 0:
+            raise ValueError("reoptimize_every must be positive")
         self.window = float(window)
         self.solver = solver
         self.default_rate = float(default_rate)
@@ -345,13 +380,39 @@ class JoinSession:
                     "'drop') — the session counts the drop and keeps its "
                     "records consistent"
                 )
+            if (
+                auto_width_threshold is not None
+                and runtime_config.auto_width_threshold != auto_width_threshold
+            ):
+                raise ValueError(
+                    "auto_width_threshold given both directly and via "
+                    "runtime_config"
+                )
+            if (
+                auto_probe_threshold is not None
+                and runtime_config.auto_probe_threshold != auto_probe_threshold
+            ):
+                raise ValueError(
+                    "auto_probe_threshold given both directly and via "
+                    "runtime_config"
+                )
             self._runtime_config = runtime_config
         else:
+            threshold_overrides = {}
+            if auto_width_threshold is not None:
+                threshold_overrides["auto_width_threshold"] = int(
+                    auto_width_threshold
+                )
+            if auto_probe_threshold is not None:
+                threshold_overrides["auto_probe_threshold"] = int(
+                    auto_probe_threshold
+                )
             self._runtime_config = RuntimeConfig(
                 mode="logical",
                 disorder_bound=disorder_bound,
                 store_backend=store_backend or "python",
                 workers=workers or 1,
+                **threshold_overrides,
             )
         if worker_transport not in ("process", "inline"):
             raise ValueError(
@@ -373,8 +434,21 @@ class JoinSession:
         self._declared_windows: Dict[str, float] = {}
         self._declared_selectivities: Dict[JoinPredicate, float] = {}
 
-        # observed statistics (one session-long "epoch")
-        self._stats = EpochStatistics(epoch=0)
+        # observed statistics — owned by the unified adaptivity loop: one
+        # unbounded rolling epoch when reoptimize_every is None (the
+        # legacy session-long accumulator), rolling stats_window epochs
+        # with periodic decisions otherwise.  The loop is also the single
+        # funnel every plan change (epoch, churn, explicit reoptimize)
+        # takes into RewirableRuntime.install.
+        self.reoptimize_every = reoptimize_every
+        self._loop = AdaptivityLoop(
+            epoch_length=reoptimize_every,
+            stats_window=stats_window,
+            measure=self._measured_catalog,
+        )
+        self._loop.on_change = self._on_plan_change
+        self._controller: Optional[AdaptiveController] = None
+        self._last_measured: Optional[StatisticsCatalog] = None
         self._first_ts: Optional[float] = None
         self._last_ts = float("-inf")
         self._stream_high: Dict[str, float] = {}
@@ -609,14 +683,14 @@ class JoinSession:
         ts = tup.trigger_ts
         if self._runtime is None:
             try:
-                self._validate_warmup_order(tup.trigger, ts)
+                self._validate_order(tup.trigger, ts)
             except LateTupleError:
                 if policy == "drop":
                     self._warmup_late_dropped += 1
                     return
                 raise
             self._track_order(tup.trigger, ts)
-            self._stats.observe(tup)
+            self._loop.observe(tup)
             self._pending.append(tup)
             if self._pushed + len(self._pending) >= self.warmup:
                 self._start()
@@ -629,6 +703,27 @@ class JoinSession:
                     f"the engine has failed ({metrics.failure_reason}); "
                     f"the session no longer accepts pushes"
                 )
+            loop = self._loop
+            if loop.epoch_length is not None and (
+                int(ts // loop.epoch_length) > loop.current_epoch
+            ):
+                # cross any epoch boundary *before* this tuple is
+                # delivered — the same ordering as AdaptiveRuntime's
+                # on_input_boundary hook, so periodic decisions and
+                # installs land at identical points of the feed.  Only a
+                # boundary-crossing tuple pays the pre-validation (it
+                # guards a rejected straggler from triggering a boundary
+                # the engine would not have crossed; a straggler's ts
+                # never exceeds every accepted timestamp, so it can only
+                # cross one spuriously, never legitimately).
+                try:
+                    self._validate_order(tup.trigger, ts)
+                except LateTupleError:
+                    if policy == "drop":
+                        metrics.late_dropped += 1
+                        return
+                    raise
+                loop.advance(ts)
             try:
                 self._runtime.process(tup)
             except LateArrivalError as exc:
@@ -649,7 +744,7 @@ class JoinSession:
                     f"({metrics.failure_reason})"
                 )
 
-    def _validate_warmup_order(self, relation: str, ts: float) -> None:
+    def _validate_order(self, relation: str, ts: float) -> None:
         try:
             validate_arrival(
                 relation,
@@ -662,13 +757,20 @@ class JoinSession:
             raise LateTupleError(str(exc)) from exc
 
     def _record(self, tup: StreamTuple) -> None:
-        """Full bookkeeping for a tuple the live runtime just ingested."""
-        self._stats.observe(tup)
+        """Full bookkeeping for a tuple the live runtime just ingested.
+
+        Under ``workers > 1`` statistics are observed *shard-side* (exactly
+        once globally — partitioned streams on their owning shard,
+        broadcast streams on shard 0) and folded back through the loop's
+        ``absorb`` at every drain, so the driver must not observe again.
+        """
+        if self._runtime_config.workers == 1:
+            self._loop.observe(tup)
         self._commit(tup)
 
     def _commit(self, tup: StreamTuple) -> None:
-        """Count + oracle bookkeeping for an engine-ingested tuple (the
-        drain path observed statistics at buffer time already)."""
+        """Count + oracle bookkeeping for an engine-ingested tuple
+        (statistics observation is :meth:`_record`'s job)."""
         ts = tup.trigger_ts
         self._pushed += 1
         if self.record_streams:
@@ -769,6 +871,43 @@ class JoinSession:
             self._start()
         return self
 
+    def reoptimize(self) -> Optional[DecisionRecord]:
+        """Consult the optimizer now against the freshest statistics.
+
+        Routes through the same :class:`AdaptivityLoop` as
+        ``reoptimize_every`` epochs and query churn: if the measured
+        statistics change the optimal shared plan, the new topology is
+        installed immediately through the live-rewire path (state
+        migration + backfill, ``store_backend="auto"`` reselection); an
+        unchanged plan installs nothing.  Returns the
+        :class:`~repro.core.adaptive.DecisionRecord` (also appended to
+        ``metrics.decisions``), or ``None`` when this call produced the
+        *first* plan (initial planning is not a decision).
+        """
+        if not self._queries:
+            raise SessionError("cannot reoptimize a session with no queries")
+        self._end_warmup()
+        if self._runtime is None:
+            self._start()
+            return None
+        self._runtime.flush()
+        controller = self._controller
+        queries = [self._queries[name] for name in sorted(self._queries)]
+        controller.solver = choose_solver(queries, self.solver)
+        old = self._runtime.topology
+        catalog = self._build_catalog(queries)
+        now = self._last_ts if self._last_ts != float("-inf") else 0.0
+        record = self._loop.rewire(
+            now=now, windows=self._windows_map(), measured=catalog
+        )
+        if record is not None and record.changed:
+            switch = self._runtime.switches[-1]
+            self._plan, self._catalog = controller.current_plan, catalog
+            for store_id in switch.removed_stores:
+                if old.stores[store_id].mir.is_input:
+                    self._drops.setdefault(store_id, []).append(self._pushed)
+        return record
+
     def _end_warmup(self) -> None:
         """Query churn ends a warmup early: the buffered prefix must run
         under the *pre-churn* query set, or activation intervals would lie
@@ -788,6 +927,7 @@ class JoinSession:
                 self._runtime_config,
                 self._listeners,
                 self._worker_transport,
+                self._loop.absorb,
             )
         else:
             self._runtime = _SessionRuntime(
@@ -799,12 +939,40 @@ class JoinSession:
         # stragglers dropped while warming up belong to the same counter
         self._runtime.metrics.late_dropped += self._warmup_late_dropped
         self._plan, self._catalog = plan, catalog
+        # seed the controller with the plan just deployed: every later
+        # decision — epoch boundary, query churn, explicit reoptimize —
+        # flows through the one loop → controller.decide → install path
+        queries = [self._queries[name] for name in sorted(self._queries)]
+        controller = AdaptiveController(
+            catalog,
+            queries,
+            self._optimizer_config,
+            solver=choose_solver(queries, self.solver),
+        )
+        controller.current_plan = plan
+        controller.current_signature = plan_signature(plan)
+        controller._dirty = False
+        self._controller = controller
+        self._loop.bind(controller, cluster=self._optimizer_config.cluster)
+        self._loop.attach(self._runtime)
+        if self._runtime_config.workers > 1:
+            # epoch boundaries must see every already-shipped tuple's
+            # statistics: drain the workers before the loop decides
+            self._loop.pre_decide = self._runtime.flush
+        # the drain below re-delivers the buffered prefix tuple-by-tuple
+        # and re-observes statistics on the way (driver-side at workers=1,
+        # shard-side otherwise, via _record) — drop the buffer-time
+        # accumulator or every warmup tuple would be counted twice, and
+        # epoch boundaries crossed mid-drain would misattribute tuples
+        self._loop.stats = EpochStatistics(epoch=self._loop.stats.epoch)
         pending, self._pending = self._pending, []
         for tup in pending:
+            if self._loop.epoch_length is not None:
+                self._loop.advance(tup.trigger_ts)
             self._runtime.process(tup)
-            # commit per processed tuple so the verification history equals
+            # record per processed tuple so the verification history equals
             # exactly what the engine ingested, even if the drain dies here
-            self._commit(tup)
+            self._record(tup)
             if self._runtime.metrics.failed:
                 # the documented loud-failure contract holds for buffered
                 # pushes too: the warmup-ending call must not return as if
@@ -815,19 +983,39 @@ class JoinSession:
                 )
 
     def _replan(self) -> None:
-        """Re-optimize the shared plan and rewire the live runtime."""
+        """Re-optimize the shared plan and rewire the live runtime.
+
+        Query churn rides the same :class:`AdaptivityLoop` path as epoch
+        re-optimization: the controller's query set is synced (marking it
+        dirty, so a topology is always produced), the freshest observed
+        statistics are folded into the measured catalog, and the install
+        goes through the one ``loop.install`` funnel.
+        """
         if self._runtime is None:
             return
         self._runtime.flush()
         old = self._runtime.topology
-        plan, catalog, topology = self._optimize()
+        controller = self._controller
+        queries = [self._queries[name] for name in sorted(self._queries)]
+        saved = (dict(controller.queries), controller._dirty)
         now = self._last_ts if self._last_ts != float("-inf") else 0.0
-        record = self._runtime.install(
-            topology, now=now, windows=self._windows_map()
-        )
+        try:
+            controller.queries = {q.name: q for q in queries}
+            controller._dirty = True
+            controller.solver = choose_solver(queries, self.solver)
+            catalog = self._build_catalog(queries)
+            self._loop.rewire(
+                now=now, windows=self._windows_map(), measured=catalog
+            )
+        except Exception:
+            # transactional: a failed solve must leave the controller (and
+            # the still-running topology) exactly as they were
+            controller.queries, controller._dirty = saved
+            raise
+        record = self._runtime.switches[-1]
         # introspection state only after a successful install, so a failed
         # replan never reports a plan that is not actually running
-        self._plan, self._catalog = plan, catalog
+        self._plan, self._catalog = controller.current_plan, catalog
         # dropped *input* stores lose their windowed tuples for good (MIR
         # stores are re-derivable via backfill); remember the cut so the
         # verification oracle stops expecting results that would need them
@@ -845,9 +1033,44 @@ class JoinSession:
         return result.plan, catalog, topology
 
     def _build_catalog(self, queries: Sequence[Query]) -> StatisticsCatalog:
+        """Catalog from the loop's current statistics snapshot.
+
+        With ``reoptimize_every=None`` the loop keeps one unbounded epoch,
+        so this is the legacy session-long measurement; with epochs the
+        snapshot covers the retained ``stats_window`` plus the live epoch
+        — a churn rewire folds the *freshest* observations, not a
+        session-long blob.
+        """
+        return self._catalog_from(
+            queries, self._loop.snapshot(), self._loop.elapsed()
+        )
+
+    def _measured_catalog(
+        self, stats: EpochStatistics, elapsed: Optional[float]
+    ) -> StatisticsCatalog:
+        """The loop's ``measure`` hook: same layering as every session
+        catalog (defaults → observed → declared overrides)."""
+        queries = [self._queries[name] for name in sorted(self._queries)]
+        catalog = self._catalog_from(queries, stats, elapsed)
+        self._last_measured = catalog
+        return catalog
+
+    def _on_plan_change(self) -> None:
+        """An epoch-boundary decision changed the plan: refresh the
+        introspection state (:attr:`plan` / :attr:`catalog`)."""
+        if self._controller is not None:
+            self._plan = self._controller.current_plan
+            self._catalog = self._last_measured
+
+    def _catalog_from(
+        self,
+        queries: Sequence[Query],
+        stats: EpochStatistics,
+        elapsed: Optional[float],
+    ) -> StatisticsCatalog:
         """Catalog = defaults, then observed statistics, then declared
-        overrides — the single estimator is :meth:`EpochStatistics.fold_into`
-        (the session is one long epoch of elapsed event time)."""
+        overrides — the single estimator is
+        :meth:`EpochStatistics.fold_into` over ``elapsed`` event time."""
         base = StatisticsCatalog(
             default_selectivity=self.default_selectivity,
             default_window=self.window,
@@ -856,12 +1079,7 @@ class JoinSession:
         for rel in relations:
             base.with_rate(rel, self.default_rate)
             base.with_window(rel, self._window_of(rel))
-        elapsed = None
-        if self._first_ts is not None and self._last_ts > self._first_ts:
-            elapsed = self._last_ts - self._first_ts
-        catalog = (
-            self._stats.fold_into(base, queries, elapsed) if elapsed else base
-        )
+        catalog = stats.fold_into(base, queries, elapsed) if elapsed else base
         for rel in relations:
             rate = self._declared_rates.get(rel)
             if rate is not None:
@@ -999,6 +1217,16 @@ class JoinSession:
     @property
     def metrics(self) -> Optional[EngineMetrics]:
         return self._runtime.metrics if self._runtime is not None else None
+
+    @property
+    def decisions(self) -> List[DecisionRecord]:
+        """Every optimizer consultation routed through the adaptivity loop
+        (periodic epochs, query churn, explicit :meth:`reoptimize`)."""
+        return (
+            list(self._runtime.metrics.decisions)
+            if self._runtime is not None
+            else []
+        )
 
     @property
     def rewires(self) -> List[SwitchRecord]:

@@ -353,13 +353,14 @@ class TestAutoBackendPlumbing:
         assert len(task.containers[0]) == 1  # state migrated, not dropped
         assert task.switch_backend("columnar") is False  # idempotent
 
-    def test_preferred_backend_thresholds(self, monkeypatch):
-        import repro.engine.stores as stores_mod
-
-        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 2)
-        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 3)
+    def test_preferred_backend_thresholds(self):
         task = StoreTask(
-            store_id="S", task_index=0, retention=8.0, backend="auto"
+            store_id="S",
+            task_index=0,
+            retention=8.0,
+            backend="auto",
+            auto_width_threshold=2,
+            auto_probe_threshold=3,
         )
         assert task.preferred_backend() == "python"  # cold store
         task.container(0).insert(s_tuple(1.0, a=1))

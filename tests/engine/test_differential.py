@@ -21,9 +21,13 @@ Covered axes (≥ 24 seeded workloads each):
 plus the cross-product invariances (shape × disorder × batch size ×
 eviction cadence), the unequal-window sharing matrix (the O(1)
 uniform-window shortcut must disengage), the adaptive runtime's epoch
-boundaries, and the **store-backend axis** (python hash-index vs numpy
+boundaries, the **store-backend axis** (python hash-index vs numpy
 columnar containers — identical results *and* identical metric
-bookkeeping, including across a live rewire).
+bookkeeping, including across a live rewire), and the **unified
+adaptivity axis** (``JoinSession(reoptimize_every=...)`` must stay
+oracle-exact *and* match a hand-driven :class:`AdaptiveRuntime`
+decision-for-decision and switch-for-switch, ordered/watermark ×
+chain/star × seeds × workers 1/2 inline).
 
 This suite is the regression net for hot-path refactors (batched cascades,
 incremental eviction, orientation caching, seq-based visibility): any
@@ -917,16 +921,13 @@ class TestDifferentialAutoBackend:
         assert summaries["auto"] == summaries["python"] == summaries["columnar"]
         assert results["auto"] == results["python"] == results["columnar"]
 
-    def test_auto_switch_mid_stream_keeps_parity(self, monkeypatch):
+    def test_auto_switch_mid_stream_keeps_parity(self):
         """Thresholds forced to 1: the install() re-selection flips every
         live store to columnar mid-stream.  Results and checked metrics
         must still equal both fixed backends run through the *same*
         install, and the flip must not leak into ``migrated_tuples``."""
-        import repro.engine.stores as stores_mod
         from repro.engine import RewirableRuntime
 
-        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 1)
-        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 1)
         queries, relations, streams, inputs, windows, parallelism = (
             random_workload(3)
         )
@@ -938,7 +939,12 @@ class TestDifferentialAutoBackend:
             runtime = RewirableRuntime(
                 topology,
                 windows,
-                RuntimeConfig(mode="logical", store_backend=backend),
+                RuntimeConfig(
+                    mode="logical",
+                    store_backend=backend,
+                    auto_width_threshold=1,
+                    auto_probe_threshold=1,
+                ),
             )
             _fresh_feed(feed)
             runtime.run(feed[:cut])
@@ -962,17 +968,20 @@ class TestDifferentialAutoBackend:
         assert results["auto"] == results["python"] == results["columnar"]
         assert migrated["auto"] == migrated["python"] == migrated["columnar"]
 
-    def test_auto_backend_survives_rewire(self, monkeypatch):
+    def test_auto_backend_survives_rewire(self):
         """A session replan re-picks auto backends: wide, hot stores flip
         to columnar containers, the choice survives the rewire, and the
         post-rewire session still matches the oracle."""
-        import repro.engine.stores as stores_mod
         from repro import JoinSession
         from repro.engine.columnar import ColumnarContainer
 
-        monkeypatch.setattr(stores_mod, "AUTO_WIDTH_THRESHOLD", 8)
-        monkeypatch.setattr(stores_mod, "AUTO_PROBE_THRESHOLD", 4)
-        session = JoinSession(window=2.5, solver="scipy", store_backend="auto")
+        session = JoinSession(
+            window=2.5,
+            solver="scipy",
+            store_backend="auto",
+            auto_width_threshold=8,
+            auto_probe_threshold=4,
+        )
         session.add_query("q1", "R.a=S.a", "S.b=T.b")
         specs = [
             StreamSpec(
@@ -1139,3 +1148,207 @@ class TestDifferentialAdaptiveWatermark:
         # every seed actually installs a new plan under watermark time
         assert runtime.switches
         assert_engine_equals_reference(runtime, [query], streams, windows)
+
+
+class TestDifferentialUnifiedAdaptivity:
+    """The unified adaptivity loop, driven through the session facade.
+
+    ``JoinSession(reoptimize_every=E)`` must be (a) oracle-exact and
+    (b) indistinguishable from a hand-driven :class:`AdaptiveRuntime` fed
+    the same tuples: identical :class:`DecisionRecord` sequences, identical
+    switch epochs/times, identical result sets — at ``workers=1`` (same
+    single-process rewirable runtime) and ``workers=2`` (statistics
+    observed shard-side and folded back to the driver's loop), across
+    ordered and watermark arrivals and chain and star shapes.
+    """
+
+    EPOCH = 2.0
+    DEFAULT_RATE = 10.0
+    DEFAULT_SELECTIVITY = 0.08
+
+    def _twin(self, queries, relations, windows, parallelism, bound, solver):
+        """An AdaptiveRuntime configured exactly like the session plans:
+        same defaults catalog, same optimizer config, same epoch length."""
+        base = StatisticsCatalog(
+            default_selectivity=self.DEFAULT_SELECTIVITY,
+            default_window=10.0,
+        )
+        for rel in relations:
+            base.with_rate(rel, self.DEFAULT_RATE)
+            base.with_window(rel, windows[rel])
+        config = OptimizerConfig(
+            cluster=ClusterConfig(default_parallelism=parallelism)
+        )
+        ordered = [q for q in sorted(queries, key=lambda q: q.name)]
+        controller = AdaptiveController(base, ordered, config, solver=solver)
+        runtime = AdaptiveRuntime(
+            controller,
+            dict(windows),
+            RuntimeConfig(mode="logical", disorder_bound=bound),
+            epoch_length=self.EPOCH,
+        )
+        return controller, runtime
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_session_epochs_match_adaptive_runtime(self, seed, workers):
+        from repro import JoinSession
+
+        shape = ("chain", "star")[seed % 2]
+        queries, relations, streams, inputs, windows, parallelism = (
+            random_workload(seed, shape=shape)
+        )
+        if seed % 4 >= 2:  # watermark arrivals on the back half of each pair
+            bound = random.Random(seed ^ 0xAD).choice([0.5, 1.0])
+            feed = list(bounded_delay_feed(streams, bound, seed=seed))
+        else:
+            bound = None
+            feed = list(inputs)
+        solver = "scipy" if shape == "chain" else "greedy"
+
+        session = JoinSession(
+            window=10.0,
+            solver=solver,
+            default_rate=self.DEFAULT_RATE,
+            default_selectivity=self.DEFAULT_SELECTIVITY,
+            disorder_bound=bound,
+            workers=workers if workers > 1 else None,
+            worker_transport="inline",
+            parallelism=parallelism,
+            reoptimize_every=self.EPOCH,
+        )
+        for rel, window in windows.items():
+            session.with_window(rel, window)
+        for query in queries:
+            session.add_query(query)
+        session.push_batch(_fresh_feed(feed))
+        session.flush()
+        report = session.verify()
+        assert report.ok, report.describe()
+
+        controller, twin = self._twin(
+            queries, relations, windows, parallelism, bound, solver
+        )
+        twin.run(_fresh_feed(feed))
+
+        # decision-for-decision: every epoch boundary consulted the
+        # optimizer with the same measured statistics → same records
+        assert session.decisions, "no epoch boundary was ever crossed"
+        assert session.decisions == controller.decisions
+        assert session.decisions == twin.metrics.decisions
+        # switch-for-switch: changed plans install at identical epochs
+        assert [
+            (s.epoch, s.time, s.added_stores, s.removed_stores)
+            for s in session.rewires
+        ] == [
+            (s.epoch, s.time, s.added_stores, s.removed_stores)
+            for s in twin.switches
+        ]
+        # result parity (and, driver-exact, the headline counters)
+        for query in queries:
+            assert result_keys(session.results(query.name)) == result_keys(
+                twin.results(query.name)
+            ), query.name
+        assert (
+            session.metrics.inputs_ingested == twin.metrics.inputs_ingested
+        )
+        assert (
+            session.metrics.results_emitted == twin.metrics.results_emitted
+        )
+        assert session.metrics.late_dropped == twin.metrics.late_dropped
+        if workers == 1 or session._runtime.router.metrics_exact:
+            for field in (
+                "tuples_sent",
+                "probes_executed",
+                "comparisons",
+                "stored_units",
+            ):
+                assert getattr(session.metrics, field) == getattr(
+                    twin.metrics, field
+                ), field
+        session.close()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_observed_drift_flips_plan_without_churn(self, workers):
+        """A deterministic drift scenario: the feed's observed selectivities
+        contradict the defaults, so the loop's epoch decision re-optimizes
+        and installs a new plan with *no* query churn — and stays exact."""
+        from repro import JoinSession
+
+        session = JoinSession(
+            window=6.0,
+            solver="scipy",
+            default_rate=8.0,
+            default_selectivity=0.5,  # deliberately wrong: everything joins
+            workers=workers if workers > 1 else None,
+            worker_transport="inline",
+            reoptimize_every=2.0,
+        )
+        session.add_query("q", "R.a=S.a", "S.b=T.b")
+        rng = random.Random(23)
+        feed = []
+        ts = 0.05
+        # R.a=S.a matches almost never, S.b=T.b always — the measured
+        # catalog inverts the default ordering pressure
+        for i in range(220):
+            rel = ("R", "S", "T")[i % 3]
+            values = {
+                "R": {"a": rng.randrange(50)},
+                "S": {"a": rng.randrange(50) + 100, "b": 1},
+                "T": {"b": 1, "c": rng.randrange(4)},
+            }[rel]
+            feed.append((rel, values, ts))
+            ts += 0.04
+        for rel, values, t in feed:
+            session.push(rel, values, t)
+        session.flush()
+        assert session.decisions, "epochs never closed"
+        assert any(d.changed for d in session.decisions)
+        assert session.rewires, "the drifted plan was never installed"
+        assert session.metrics.rewires == len(session.rewires)
+        report = session.verify()
+        assert report.ok, report.describe()
+        session.close()
+
+    def test_explicit_reoptimize_is_a_recorded_decision(self):
+        """``session.reoptimize()`` consults the optimizer immediately:
+        unchanged statistics → a DecisionRecord with ``changed=False`` and
+        no install; drifted statistics → an immediate live rewire."""
+        from repro import JoinSession
+
+        session = JoinSession(
+            window=6.0, solver="scipy", default_rate=8.0,
+            default_selectivity=0.5,
+        )
+        session.add_query("q", "R.a=S.a", "S.b=T.b")
+        rng = random.Random(29)
+        ts = 0.05
+        for i in range(40):
+            rel = ("R", "S", "T")[i % 3]
+            values = {
+                "R": {"a": rng.randrange(3)},
+                "S": {"a": rng.randrange(3), "b": rng.randrange(3)},
+                "T": {"b": rng.randrange(3), "c": rng.randrange(3)},
+            }[rel]
+            session.push(rel, values, ts)
+            ts += 0.05
+        first = session.reoptimize()
+        assert first is not None
+        assert len(session.decisions) == 1
+        # drift the stream: S.b=T.b becomes a guaranteed match while
+        # R.a=S.a dries up completely
+        for i in range(160):
+            rel = ("R", "S", "T")[i % 3]
+            values = {
+                "R": {"a": rng.randrange(50)},
+                "S": {"a": rng.randrange(50) + 100, "b": 1},
+                "T": {"b": 1, "c": rng.randrange(4)},
+            }[rel]
+            session.push(rel, values, ts)
+            ts += 0.05
+        second = session.reoptimize()
+        assert second is not None and second.changed
+        assert len(session.decisions) == 2
+        assert session.rewires and session.rewires[-1].epoch == 0
+        report = session.verify()
+        assert report.ok, report.describe()

@@ -417,10 +417,10 @@ class TestSessionBasics:
         session.push("R", {"a": 1}, ts=0.1)
         queries_before = session.queries
 
-        def boom():
+        def boom(queries):
             raise RuntimeError("solver exploded")
 
-        monkeypatch.setattr(session, "_optimize", boom)
+        monkeypatch.setattr(session, "_build_catalog", boom)
         with pytest.raises(RuntimeError, match="solver exploded"):
             session.add_query("q3", "U.d=V.d")
         assert session.queries == queries_before
