@@ -1,0 +1,43 @@
+"""repro.analysis — the engine invariant analyzer.
+
+An AST-walking lint engine with project-specific rule families, run in
+CI next to tier-1 (``python -m repro.analysis src/``):
+
+* **DET** — determinism in engine/sharded paths (wall clocks, unseeded
+  RNGs, set-iteration order leaking into ordered outputs),
+* **SHARD** — shard-boundary safety (unpicklable closures shipped to
+  workers, per-process global mutation),
+* **MET** — metrics discipline (engine-only counter mutation, every
+  counter documented),
+* **API** — public-surface drift (``__all__`` vs ``docs/api.md``),
+* **TYP** — the offline half of the ``mypy.ini`` strict ratchet
+  (complete signatures, no bare generics).
+
+Findings are suppressed per line with ``# repro: allow[RULE]
+justification`` — the justification is mandatory.  Rule catalog,
+rationale, and the how-to for adding rules: ``docs/analysis.md``.
+
+This package is deliberately self-contained: it imports nothing from
+the rest of ``repro`` (it analyzes source text, not live objects), so
+it can lint a tree that does not import.
+"""
+
+from .engine import FileContext, Program, analyze, discover_files, find_project_root
+from .findings import JSON_SCHEMA_VERSION, AnalysisReport, Finding
+from .rules import all_rules, rule_catalog
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "FileContext",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "Program",
+    "Suppression",
+    "all_rules",
+    "analyze",
+    "discover_files",
+    "find_project_root",
+    "parse_suppressions",
+    "rule_catalog",
+]

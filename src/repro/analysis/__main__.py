@@ -1,0 +1,83 @@
+"""CLI entry point: ``python -m repro.analysis src/``.
+
+Exit codes: 0 — clean; 1 — findings (each printed with rule id and
+location); 2 — usage error.  ``--json`` emits the machine-readable
+report (schema in :mod:`repro.analysis.findings`) on stdout instead of
+the human rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import analyze
+from .rules import rule_catalog
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Engine invariant analyzer: determinism, shard "
+        "safety, metrics discipline, API drift, typing ratchet.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root (default: auto-detected from pyproject.toml/.git)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (title, _rationale) in rule_catalog().items():
+            print(f"{rule_id}  {title}")
+        return 0
+
+    rule_ids = (
+        [part.strip() for part in args.rules.split(",") if part.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        report = analyze(
+            [Path(p) for p in args.paths],
+            root=Path(args.root) if args.root else None,
+            rule_ids=rule_ids,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""The analyzer engine: file discovery, AST parsing, rule dispatch.
+
+Two pass kinds mirror what the rules need:
+
+* **per-file rules** see one :class:`FileContext` (source, AST,
+  suppressions) at a time;
+* **whole-program rules** see the :class:`Program` — every parsed file
+  plus the project root, so they can correlate code with other code
+  (metrics mutations outside ``engine/``) or with documentation
+  (``docs/api.md`` vs ``__all__``).
+
+Suppressions are applied uniformly after both passes: a finding is
+dropped iff its physical line carries a justified
+``# repro: allow[RULE]`` comment naming its rule (see
+:mod:`repro.analysis.suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+import configparser
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .findings import AnalysisReport, Finding
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = ["FileContext", "Program", "analyze", "discover_files", "find_project_root"]
+
+
+class FileContext:
+    """One parsed source file, as every per-file rule sees it."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.root = root
+        self.rel_path = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines: List[str] = self.source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(self.source, filename=str(path))
+        except SyntaxError as exc:  # surfaced as a finding by analyze()
+            self.parse_error = exc
+        self.suppressions: Dict[int, Suppression] = {}
+        self.suppression_problems: List[Finding] = []
+        self.suppressions, self.suppression_problems = parse_suppressions(
+            self.lines, self.rel_path
+        )
+
+    @property
+    def module_name(self) -> Optional[str]:
+        """Dotted module name for files under a ``src/`` layout, else None."""
+        parts = self.rel_path.split("/")
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if not parts or not parts[-1].endswith(".py"):
+            return None
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        return ".".join(parts) if parts else None
+
+    def in_dir(self, *rel_prefixes: str) -> bool:
+        """True if this file lives under any of the given root-relative dirs."""
+        return any(
+            self.rel_path == prefix or self.rel_path.startswith(prefix.rstrip("/") + "/")
+            for prefix in rel_prefixes
+        )
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Program:
+    """Everything a whole-program rule may consult."""
+
+    def __init__(self, root: Path, files: Sequence[FileContext]) -> None:
+        self.root = root
+        self.files: Tuple[FileContext, ...] = tuple(files)
+        self._docs_cache: Dict[str, Optional[str]] = {}
+
+    def file_by_rel_path(self, rel_path: str) -> Optional[FileContext]:
+        for ctx in self.files:
+            if ctx.rel_path == rel_path:
+                return ctx
+        return None
+
+    def read_doc(self, rel_path: str) -> Optional[str]:
+        """Project document text (e.g. ``docs/api.md``), cached; None if absent."""
+        if rel_path not in self._docs_cache:
+            path = self.root / rel_path
+            self._docs_cache[rel_path] = (
+                path.read_text(encoding="utf-8") if path.is_file() else None
+            )
+        return self._docs_cache[rel_path]
+
+    def ratchet_modules(self) -> Tuple[str, ...]:
+        """Module patterns under the strict-typing ratchet (from mypy.ini).
+
+        Every ``[mypy-<pattern>]`` section that sets
+        ``disallow_untyped_defs = True`` is part of the ratchet; the TYP
+        rules enforce the mechanical half of those guarantees without
+        needing mypy installed.  Missing mypy.ini disables the TYP rules.
+        """
+        text = self.read_doc("mypy.ini")
+        if text is None:
+            return ()
+        parser = configparser.ConfigParser()
+        try:
+            parser.read_string(text)
+        except configparser.Error:
+            return ()
+        patterns: List[str] = []
+        for section in parser.sections():
+            if not section.startswith("mypy-"):
+                continue
+            if parser.getboolean(section, "disallow_untyped_defs", fallback=False):
+                patterns.extend(
+                    part.strip()
+                    for part in section[len("mypy-") :].split(",")
+                    if part.strip()
+                )
+        return tuple(sorted(set(patterns)))
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor holding ``pyproject.toml`` or ``.git`` (else start)."""
+    start = start.resolve()
+    candidates = [start] if start.is_dir() else [start.parent]
+    for candidate in candidates[0].parents:
+        candidates.append(candidate)
+    for candidate in candidates:
+        if (candidate / "pyproject.toml").is_file() or (candidate / ".git").exists():
+            return candidate
+    return candidates[0]
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        resolved = path.resolve()
+        if resolved.is_dir():
+            out.extend(p for p in resolved.rglob("*.py") if p.is_file())
+        elif resolved.suffix == ".py" and resolved.is_file():
+            out.append(resolved)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(set(out))
+
+
+def analyze(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run the rule catalog over ``paths`` and return the report.
+
+    ``rule_ids`` restricts the run to a subset of rules (suppression
+    checking always runs).  The report's findings are sorted by location
+    and already have justified suppressions applied.
+    """
+    from .rules import all_rules  # late import: rules import this module
+
+    file_rules, program_rules = all_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        unknown = wanted - {
+            r.rule_id for r in (*file_rules, *program_rules)
+        }
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        file_rules = [r for r in file_rules if r.rule_id in wanted]
+        program_rules = [r for r in program_rules if r.rule_id in wanted]
+
+    files = discover_files(paths)
+    if root is None:
+        root = find_project_root(files[0] if files else Path.cwd())
+    root = root.resolve()
+
+    contexts = [FileContext(path, root) for path in files]
+    program = Program(root, contexts)
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        raw.extend(ctx.suppression_problems)
+        if ctx.parse_error is not None:
+            raw.append(
+                Finding(
+                    path=ctx.rel_path,
+                    line=ctx.parse_error.lineno or 1,
+                    col=(ctx.parse_error.offset or 1) - 1,
+                    rule="ERR001",
+                    message=f"syntax error: {ctx.parse_error.msg}",
+                )
+            )
+            continue
+        for rule in file_rules:
+            raw.extend(rule.check(ctx))
+    for prog_rule in program_rules:
+        raw.extend(prog_rule.check_program(program))
+
+    report = AnalysisReport(files_scanned=len(contexts))
+    by_path = {ctx.rel_path: ctx for ctx in contexts}
+    for finding in sorted(set(raw)):
+        ctx_for = by_path.get(finding.path)
+        suppression = (
+            ctx_for.suppressions.get(finding.line) if ctx_for is not None else None
+        )
+        if (
+            suppression is not None
+            and finding.rule in suppression.rules
+            and finding.rule != "SUP001"
+        ):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

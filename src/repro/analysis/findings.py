@@ -1,0 +1,95 @@
+"""Findings: what a rule reports, and how reports serialize.
+
+A :class:`Finding` pins one rule violation to a file location.  Findings
+are value objects — hashable, ordered by location — so the engine can
+deduplicate, sort, and diff them deterministically (the analyzer holds
+itself to the determinism bar it enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["Finding", "AnalysisReport", "JSON_SCHEMA_VERSION"]
+
+#: bumped whenever the ``--json`` payload shape changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Project-root-relative POSIX path of the offending file.
+    line / col:
+        1-based line and 0-based column (``ast`` conventions).
+    rule:
+        Rule identifier, e.g. ``"DET001"``.
+    message:
+        Human-readable description of the specific violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by a justified allow-comment
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "counts": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "suppressed": [f.to_dict() for f in sorted(self.suppressed)],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (stable ordering)."""
+        lines = [f.render() for f in sorted(self.findings)]
+        counts = self.counts_by_rule()
+        summary = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append(
+            f"{len(self.findings)} finding(s)"
+            + (f" [{summary}]" if summary else "")
+            + f", {len(self.suppressed)} suppressed,"
+            + f" {self.files_scanned} file(s) scanned"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""The rule catalog.
+
+Adding a rule: implement :class:`~repro.analysis.rules.base.FileRule`
+or :class:`~repro.analysis.rules.base.ProgramRule` in a family module
+(or a new one), list the instance here, add a firing + non-firing
+fixture pair under ``tests/analysis/fixtures/``, and document it in
+``docs/analysis.md`` — ``tests/analysis/test_catalog.py`` cross-checks
+all three stay in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .api import ExportsBoundRule, ExportsDocumentedRule
+from .base import FileRule, ProgramRule
+from .det import SetIterationRule, UnseededRandomRule, WallClockRule
+from .met import MetricsDocumentedRule, MetricsMutationRule
+from .shard import GlobalMutationRule, ShippedClosureRule
+from .typ import BareGenericRule, UntypedDefRule
+
+__all__ = ["all_rules", "rule_catalog"]
+
+_FILE_RULES: Tuple[FileRule, ...] = (
+    WallClockRule(),
+    UnseededRandomRule(),
+    SetIterationRule(),
+    ShippedClosureRule(),
+    GlobalMutationRule(),
+    ExportsBoundRule(),
+)
+
+_PROGRAM_RULES: Tuple[ProgramRule, ...] = (
+    MetricsMutationRule(),
+    MetricsDocumentedRule(),
+    ExportsDocumentedRule(),
+    UntypedDefRule(),
+    BareGenericRule(),
+)
+
+
+def all_rules() -> Tuple[List[FileRule], List[ProgramRule]]:
+    """The active catalog as (per-file rules, whole-program rules)."""
+    return list(_FILE_RULES), list(_PROGRAM_RULES)
+
+
+def rule_catalog() -> Dict[str, Tuple[str, str]]:
+    """``{rule id: (title, rationale)}`` for docs/CLI listings.
+
+    ``SUP001`` (unjustified suppression) and ``ERR001`` (syntax error)
+    are engine-level and always active, so they are listed here too.
+    """
+    catalog: Dict[str, Tuple[str, str]] = {}
+    for rule in (*_FILE_RULES, *_PROGRAM_RULES):
+        catalog[rule.rule_id] = (rule.title, rule.rationale)
+    catalog["SUP001"] = (
+        "suppression without justification",
+        "An allow-comment must say *why* the finding is a false "
+        "positive; unexplained suppressions are unreviewable and "
+        "cannot themselves be suppressed.",
+    )
+    catalog["ERR001"] = (
+        "file does not parse",
+        "A syntax error means no rule ran on the file; the analyzer "
+        "fails loudly instead of silently skipping it.",
+    )
+    return dict(sorted(catalog.items()))

@@ -1,0 +1,141 @@
+"""API — public-surface drift rules.
+
+``repro.__all__`` is the documented surface; ``docs/api.md`` promises
+that **every name exported from repro appears there**.  API001 is that
+promise as a checker (``tests/test_public_api.py`` consumes it, so the
+gate has exactly one implementation).  API002 generalizes the other
+direction of export hygiene to every module: an ``__all__`` entry that
+is not actually bound in its module is a typo waiting for an importer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..engine import FileContext, Program
+from ..findings import Finding
+from .base import FileRule, ProgramRule
+
+__all__ = ["ExportsDocumentedRule", "ExportsBoundRule", "module_all"]
+
+_PACKAGE_INIT = "src/repro/__init__.py"
+_API_DOC = "docs/api.md"
+
+
+def module_all(tree: ast.Module) -> Optional[List[Tuple[str, int]]]:
+    """``(name, line)`` pairs of the module's ``__all__``, or None.
+
+    Only literal list/tuple assignments are understood — which is also
+    the only form the import machinery and doc tooling can rely on.
+    """
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return None
+        out: List[Tuple[str, int]] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.append((element.value, element.lineno))
+        return out
+    return None
+
+
+class ExportsDocumentedRule(ProgramRule):
+    rule_id = "API001"
+    title = "repro.__all__ export missing from docs/api.md"
+    rationale = (
+        "docs/api.md is the public contract; every name exported from "
+        "the top-level package must appear there (the inverse of "
+        "undocumented API drift).  Enforced here and consumed by "
+        "tests/test_public_api.py — one implementation of the gate."
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        ctx = program.file_by_rel_path(_PACKAGE_INIT)
+        if ctx is None or ctx.tree is None:
+            return []
+        exports = module_all(ctx.tree)
+        if not exports:
+            return []
+        doc = program.read_doc(_API_DOC)
+        if doc is None:
+            return []
+        out: List[Finding] = []
+        for name, line in exports:
+            if re.search(rf"\b{re.escape(name)}\b", doc):
+                continue
+            out.append(
+                Finding(
+                    path=_PACKAGE_INIT,
+                    line=line,
+                    col=4,
+                    rule=self.rule_id,
+                    message=(
+                        f"exported name '{name}' does not appear in "
+                        "docs/api.md; document it or remove the export"
+                    ),
+                )
+            )
+        return out
+
+
+class ExportsBoundRule(FileRule):
+    rule_id = "API002"
+    title = "__all__ entry not bound in its module"
+    rationale = (
+        "An __all__ entry without a matching definition or import makes "
+        "`from module import *` raise AttributeError and misleads "
+        "readers about the module's surface."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        exports = module_all(ctx.tree)
+        if not exports:
+            return []
+        bound = _bound_names(ctx.tree)
+        out: List[Finding] = []
+        for name, line in exports:
+            if name in bound or name == "__version__":
+                continue
+            out.append(
+                Finding(
+                    path=ctx.rel_path,
+                    line=line,
+                    col=4,
+                    rule=self.rule_id,
+                    message=(
+                        f"__all__ lists '{name}' but the module never "
+                        "defines, assigns, or imports it"
+                    ),
+                )
+            )
+        return out
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name the module could bind (deliberate overapproximation)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".", 1)[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names

@@ -1,0 +1,134 @@
+"""Rule base classes and shared AST utilities.
+
+Rules come in two shapes: :class:`FileRule` (sees one parsed file) and
+:class:`ProgramRule` (sees the whole :class:`~repro.analysis.engine.Program`
+— all files plus project docs/config).  Both carry their identifier,
+one-line title, and rationale so the CLI and ``docs/analysis.md`` render
+the same catalog.
+
+The helpers here implement the one piece of semantic context nearly
+every rule needs: resolving a ``Name``/``Attribute`` chain through the
+module's imports to a dotted path (``np.random.rand`` →
+``numpy.random.rand``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..engine import FileContext, Program
+from ..findings import Finding
+
+__all__ = [
+    "FileRule",
+    "ProgramRule",
+    "import_aliases",
+    "dotted_name",
+    "walk_annotation",
+]
+
+
+class FileRule:
+    """A rule evaluated once per parsed source file."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProgramRule:
+    """A rule evaluated once over the whole scanned program."""
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted path they import.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import time`` → ``{"time": "time.time"}``;
+    ``import os.path`` → ``{"os": "os"}`` (binds the root package).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: package-internal, not stdlib
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{module}.{alias.name}" if module else alias.name
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to a dotted path through imports.
+
+    Unresolvable shapes (calls, subscripts) return None.  A bare name
+    that is not an import alias resolves to itself — callers matching
+    against module paths like ``time.time`` are unaffected, since a
+    local variable would need the same name *and* the matched attribute
+    chain to collide.
+    """
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id, node.id)
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value, aliases)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def walk_annotation(node: ast.expr) -> Iterator[Tuple[ast.expr, bool]]:
+    """Yield ``(subnode, is_bare)`` for every node in an annotation.
+
+    ``is_bare`` is True for Name/Attribute nodes that are *not* the
+    value side of a ``Subscript`` (``List`` in ``List[int]`` is not
+    bare; a standalone ``List`` is).  String annotations are parsed and
+    traversed transparently.
+    """
+    stack: List[Tuple[ast.expr, bool]] = [(node, True)]
+    while stack:
+        current, bare = stack.pop()
+        if isinstance(current, ast.Constant) and isinstance(current.value, str):
+            try:
+                parsed = ast.parse(current.value, mode="eval").body
+            except SyntaxError:
+                continue
+            # keep original positions approximately: copy location
+            ast.copy_location(parsed, current)
+            for child in ast.walk(parsed):
+                ast.copy_location(child, current)
+            stack.append((parsed, bare))
+            continue
+        if isinstance(current, (ast.Name, ast.Attribute)):
+            yield current, bare
+            if isinstance(current, ast.Attribute):
+                # the chain below an Attribute is part of the same dotted
+                # name; do not re-report its pieces
+                continue
+        if isinstance(current, ast.Subscript):
+            stack.append((current.value, False))
+            stack.append((current.slice, True))
+            continue
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, ast.expr):
+                stack.append((child, True))
+    return

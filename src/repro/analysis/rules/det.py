@@ -1,0 +1,279 @@
+"""DET — determinism rules for engine/sharded paths.
+
+Every parity guarantee in this repo (sharded == single-process result
+and metric equality, backend/vectorization invariance, deterministic
+emission merge) assumes the engine is a pure function of its input feed.
+These rules flag the three ways that silently stops being true: reading
+wall clocks, drawing from shared unseeded RNGs, and letting Python's
+hash-randomized set iteration order leak into ordered outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..engine import FileContext
+from ..findings import Finding
+from .base import FileRule, dotted_name, import_aliases
+
+__all__ = ["WallClockRule", "UnseededRandomRule", "SetIterationRule"]
+
+#: modules whose behaviour must be a pure function of the input feed
+_DETERMINISTIC_CORE = ("src/repro/engine", "src/repro/core", "src/repro/session.py")
+
+_WALL_CLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+
+class WallClockRule(FileRule):
+    rule_id = "DET001"
+    title = "wall-clock read in deterministic engine/core code"
+    rationale = (
+        "Replay determinism (verify(), the differential suite, sharded "
+        "parity) requires engine behaviour to depend only on event time "
+        "carried by tuples.  time.perf_counter is allowed for duration "
+        "reporting; decisions must never read the machine clock."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dir(*_DETERMINISTIC_CORE):
+            return []
+        assert ctx.tree is not None
+        aliases = import_aliases(ctx.tree)
+        out: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func, aliases)
+            if dotted in _WALL_CLOCK_CALLS:
+                out.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{dotted}() is a {_WALL_CLOCK_CALLS[dotted]}; engine "
+                        "behaviour must depend only on event time (use tuple "
+                        "timestamps, or time.perf_counter for durations)",
+                    )
+                )
+        return out
+
+
+class UnseededRandomRule(FileRule):
+    rule_id = "DET002"
+    title = "unseeded or module-level RNG use"
+    rationale = (
+        "The module-level random.* functions and the legacy numpy "
+        "np.random.* API draw from shared global state: results change "
+        "run to run and library-import order can perturb them.  All "
+        "randomness must flow through an explicitly seeded "
+        "random.Random(seed) or numpy.random.default_rng(seed)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        assert ctx.tree is not None
+        aliases = import_aliases(ctx.tree)
+        out: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func, aliases)
+            if dotted is None:
+                continue
+            if dotted == "random.Random":
+                if not node.args and not node.keywords:
+                    out.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                    )
+            elif dotted.startswith("random."):
+                out.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{dotted}() uses the shared module-level RNG; "
+                        "thread an explicitly seeded random.Random through "
+                        "instead",
+                    )
+                )
+            elif dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    out.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            "numpy.random.default_rng() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                    )
+            elif dotted.startswith("numpy.random."):
+                out.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{dotted}() is the legacy global-state numpy RNG "
+                        "API; use numpy.random.default_rng(seed)",
+                    )
+                )
+        return out
+
+
+#: method names whose call inside a set-iterating loop leaks iteration
+#: order into an ordered output (list growth, queues, model/constraint
+#: construction, emission, metrics observation)
+_ORDER_SINK_ATTRS: Set[str] = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "put",
+    "send",
+    "write",
+    "observe",
+    "record",
+    "emit",
+}
+
+
+def _is_set_expr(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func, aliases)
+        return dotted in ("set", "frozenset")
+    return False
+
+
+def _is_set_annotation(node: Optional[ast.expr], aliases: Dict[str, str]) -> bool:
+    if node is None:
+        return False
+    target = node.value if isinstance(node, ast.Subscript) else node
+    dotted = dotted_name(target, aliases)
+    return dotted in (
+        "set",
+        "frozenset",
+        "typing.Set",
+        "typing.FrozenSet",
+        "typing.AbstractSet",
+        "collections.abc.Set",
+    )
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function definitions."""
+    stack: List[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            # nested defs open their own scope; _scopes() visits them
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _sink_in(body: List[ast.stmt]) -> Optional[ast.AST]:
+    """First ordering-sensitive operation in a loop body, if any."""
+    for stmt in body:
+        for node in _walk_scope(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and (
+                    func.attr in _ORDER_SINK_ATTRS or func.attr.startswith("add_")
+                ):
+                    return node
+                if isinstance(func, ast.Name) and "hash" in func.id:
+                    return node
+    return None
+
+
+class SetIterationRule(FileRule):
+    rule_id = "DET003"
+    title = "set iteration order leaking into an ordered output"
+    rationale = (
+        "Set iteration order depends on PYTHONHASHSEED for str keys: a "
+        "loop over a set that appends, yields, emits, sends, or builds "
+        "model constraints produces a different sequence every run.  "
+        "Wrap the iterable in sorted(...).  Dict iteration is exempt — "
+        "CPython dicts are insertion-ordered, so their order is as "
+        "deterministic as the code that filled them."
+    )
+
+    _SCOPE = (
+        "src/repro/engine",
+        "src/repro/core",
+        "src/repro/ilp",
+        "src/repro/session.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_dir(*self._SCOPE):
+            return []
+        assert ctx.tree is not None
+        aliases = import_aliases(ctx.tree)
+        out: List[Finding] = []
+        for scope in self._scopes(ctx.tree):
+            set_names = self._set_valued_names(scope, aliases)
+            for node in _walk_scope(scope):
+                if not isinstance(node, ast.For):
+                    continue
+                iterable = node.iter
+                is_set = _is_set_expr(iterable, aliases) or (
+                    isinstance(iterable, ast.Name) and iterable.id in set_names
+                )
+                if not is_set:
+                    continue
+                sink = _sink_in(node.body)
+                if sink is None:
+                    continue
+                out.append(
+                    ctx.finding(
+                        iterable,
+                        self.rule_id,
+                        "loop over a set feeds an ordering-sensitive "
+                        f"operation (line {getattr(sink, 'lineno', '?')}); "
+                        "iterate sorted(...) so output order survives "
+                        "hash randomization",
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _set_valued_names(scope: ast.AST, aliases: Dict[str, str]) -> Set[str]:
+        """Names assigned/annotated as sets within this scope (flow-lite)."""
+        names: Set[str] = set()
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, aliases):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and _is_set_annotation(
+                    node.annotation, aliases
+                ):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.arg):
+                if _is_set_annotation(node.annotation, aliases):
+                    names.add(node.arg)
+        return names

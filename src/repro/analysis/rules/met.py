@@ -1,0 +1,140 @@
+"""MET — metrics discipline rules.
+
+``EngineMetrics`` counters back every headline parity claim (flow
+counters invariant under backends/vectorization, exact sharded metric
+parity), so two conventions are machine-checked here:
+
+* counters are mutated only inside ``src/repro/engine/`` — outside
+  code reads them (MET001);
+* every counter field declared in ``metrics.py`` is documented in
+  ``docs/engine.md`` or ``docs/api.md`` (MET002), so the documented
+  metric surface cannot silently drift from the dataclass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from ..engine import FileContext, Program
+from ..findings import Finding
+from .base import ProgramRule
+
+__all__ = ["MetricsMutationRule", "MetricsDocumentedRule", "metrics_fields"]
+
+_METRICS_PATH = "src/repro/engine/metrics.py"
+_METRICS_CLASS = "EngineMetrics"
+_ENGINE_DIR = "src/repro/engine"
+
+
+def metrics_fields(program: Program) -> List[Tuple[str, int]]:
+    """``(field name, line)`` for every declared EngineMetrics field."""
+    ctx = program.file_by_rel_path(_METRICS_PATH)
+    if ctx is None or ctx.tree is None:
+        return []
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == _METRICS_CLASS:
+            fields: List[Tuple[str, int]] = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+            return fields
+    return []
+
+
+def _mentions_metrics(node: ast.expr) -> bool:
+    """True if the attribute chain under ``node`` references metrics."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "metrics" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "metrics" in sub.attr.lower():
+            return True
+    return False
+
+
+class MetricsMutationRule(ProgramRule):
+    rule_id = "MET001"
+    title = "EngineMetrics counter mutated outside src/repro/engine/"
+    rationale = (
+        "Counter semantics (what exactly one increment means) are an "
+        "engine-internal contract; the differential suite asserts exact "
+        "counter parity across shards, backends, and vectorization.  A "
+        "write from outside the engine package bypasses that contract "
+        "and breaks parity invisibly."
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        fields = {name for name, _ in metrics_fields(program)}
+        if not fields:
+            return []
+        out: List[Finding] = []
+        for ctx in program.files:
+            if ctx.tree is None or ctx.in_dir(_ENGINE_DIR, _METRICS_PATH):
+                continue
+            for node in ast.walk(ctx.tree):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in fields
+                        and _mentions_metrics(target.value)
+                    ):
+                        out.append(
+                            ctx.finding(
+                                target,
+                                self.rule_id,
+                                f"write to metrics counter '{target.attr}' "
+                                "outside src/repro/engine/; counters are "
+                                "mutated only by the engine (reads are fine)",
+                            )
+                        )
+        return out
+
+
+class MetricsDocumentedRule(ProgramRule):
+    rule_id = "MET002"
+    title = "EngineMetrics field missing from the documentation"
+    rationale = (
+        "docs/engine.md and docs/api.md are the metric surface users "
+        "rely on; an undocumented counter is either dead weight or an "
+        "undocumented contract.  Private fields (leading underscore) "
+        "are exempt."
+    )
+
+    _DOCS = ("docs/engine.md", "docs/api.md")
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        fields = metrics_fields(program)
+        if not fields:
+            return []
+        docs = [text for rel in self._DOCS if (text := program.read_doc(rel))]
+        if not docs:
+            return []  # docs not in this checkout: nothing to hold against
+        out: List[Finding] = []
+        for name, line in fields:
+            if name.startswith("_"):
+                continue
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            if any(pattern.search(text) for text in docs):
+                continue
+            out.append(
+                Finding(
+                    path=_METRICS_PATH,
+                    line=line,
+                    col=4,
+                    rule=self.rule_id,
+                    message=(
+                        f"metrics field '{name}' is not mentioned in "
+                        "docs/engine.md or docs/api.md; document it or "
+                        "remove it"
+                    ),
+                )
+            )
+        return out

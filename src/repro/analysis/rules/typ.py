@@ -1,0 +1,247 @@
+"""TYP — the locally-enforceable half of the strict-typing ratchet.
+
+``mypy.ini`` lists the modules under strict typing; mypy itself runs in
+the CI ``static-analysis`` job (it is not vendored into every dev
+environment).  These rules keep the *mechanical* strict requirements —
+complete signatures and no bare generics — checkable offline, so a
+ratcheted module cannot regress between CI runs.  The module list is
+read from ``mypy.ini`` (single source of truth): sections that set
+``disallow_untyped_defs = True`` are the ratchet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..engine import FileContext, Program
+from ..findings import Finding
+from .base import ProgramRule, dotted_name, import_aliases, walk_annotation
+
+__all__ = ["UntypedDefRule", "BareGenericRule", "module_matches_ratchet"]
+
+
+def module_matches_ratchet(module: Optional[str], patterns: Sequence[str]) -> bool:
+    """mypy-style module pattern match: ``a.b.*`` covers ``a.b`` and below."""
+    if module is None:
+        return False
+    for pattern in patterns:
+        if pattern.endswith(".*"):
+            base = pattern[: -len(".*")]
+            if module == base or module.startswith(base + "."):
+                return True
+        elif module == pattern:
+            return True
+    return False
+
+
+def _ratcheted_files(program: Program) -> Iterator[FileContext]:
+    patterns = program.ratchet_modules()
+    if not patterns:
+        return
+    for ctx in program.files:
+        if ctx.tree is not None and module_matches_ratchet(
+            ctx.module_name, patterns
+        ):
+            yield ctx
+
+
+def _defs(tree: ast.Module) -> Iterator[Tuple[ast.AST, bool]]:
+    """All function defs with whether each is a direct class-body method."""
+    class_bodies = {
+        id(stmt)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        for stmt in node.body
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, id(node) in class_bodies
+
+
+def _is_static(node: ast.AST) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in getattr(node, "decorator_list", [])
+    )
+
+
+class UntypedDefRule(ProgramRule):
+    rule_id = "TYP001"
+    title = "incomplete signature in a strict-ratchet module"
+    rationale = (
+        "Modules listed in mypy.ini's strict sections promise complete "
+        "signatures; this is the offline check for the same promise "
+        "(mypy verifies the full semantics in CI).  Every parameter and "
+        "every return type must be annotated — including -> None."
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        out: List[Finding] = []
+        for ctx in _ratcheted_files(program):
+            assert ctx.tree is not None
+            for node, is_method in _defs(ctx.tree):
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                missing: List[str] = []
+                args = node.args
+                positional = list(args.posonlyargs) + list(args.args)
+                skip_first = is_method and not _is_static(node) and positional
+                for index, arg in enumerate(positional):
+                    if index == 0 and skip_first and arg.arg in ("self", "cls"):
+                        continue
+                    if arg.annotation is None:
+                        missing.append(arg.arg)
+                for arg in args.kwonlyargs:
+                    if arg.annotation is None:
+                        missing.append(arg.arg)
+                if args.vararg is not None and args.vararg.annotation is None:
+                    missing.append("*" + args.vararg.arg)
+                if args.kwarg is not None and args.kwarg.annotation is None:
+                    missing.append("**" + args.kwarg.arg)
+                if missing:
+                    out.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"def {node.name}: unannotated parameter(s) "
+                            + ", ".join(missing),
+                        )
+                    )
+                if node.returns is None:
+                    out.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"def {node.name}: missing return annotation "
+                            "(use -> None for procedures)",
+                        )
+                    )
+        return out
+
+
+#: generic types that must not appear unparameterized in annotations
+_BARE_BUILTINS = {"list", "dict", "set", "tuple", "frozenset", "type"}
+_BARE_DOTTED = {
+    f"typing.{name}"
+    for name in (
+        "List",
+        "Dict",
+        "Set",
+        "Tuple",
+        "FrozenSet",
+        "Type",
+        "Deque",
+        "DefaultDict",
+        "OrderedDict",
+        "Counter",
+        "ChainMap",
+        "Sequence",
+        "MutableSequence",
+        "Iterable",
+        "Iterator",
+        "Generator",
+        "Mapping",
+        "MutableMapping",
+        "AbstractSet",
+        "MutableSet",
+        "Callable",
+        "Awaitable",
+        "Coroutine",
+        "Optional",
+        "Union",
+    )
+} | {
+    f"collections.abc.{name}"
+    for name in (
+        "Sequence",
+        "MutableSequence",
+        "Iterable",
+        "Iterator",
+        "Generator",
+        "Mapping",
+        "MutableMapping",
+        "Set",
+        "MutableSet",
+        "Callable",
+        "Awaitable",
+        "Coroutine",
+    )
+} | {
+    "collections.Counter",
+    "collections.deque",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "numpy.ndarray",
+}
+
+
+class BareGenericRule(ProgramRule):
+    rule_id = "TYP002"
+    title = "bare generic type in a strict-ratchet annotation"
+    rationale = (
+        "A bare generic (``-> Tuple``, ``x: dict``, ``np.ndarray``) "
+        "types as Any inside, silently disabling checking for every "
+        "element access; mypy --strict rejects it "
+        "(disallow_any_generics).  Parameterize: ``Tuple[int, ...]``, "
+        "``Dict[str, float]``, ``npt.NDArray[np.float64]``."
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        out: List[Finding] = []
+        for ctx in _ratcheted_files(program):
+            assert ctx.tree is not None
+            aliases = import_aliases(ctx.tree)
+            for annotation, owner in _annotations(ctx.tree):
+                for node, bare in walk_annotation(annotation):
+                    if not bare:
+                        continue
+                    flagged = self._bare_generic(node, aliases)
+                    if flagged is not None:
+                        out.append(
+                            ctx.finding(
+                                annotation,
+                                self.rule_id,
+                                f"bare generic '{flagged}' in {owner}; "
+                                "parameterize it (or use npt.NDArray[...] "
+                                "for arrays)",
+                            )
+                        )
+        return out
+
+    @staticmethod
+    def _bare_generic(
+        node: ast.expr, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(node, ast.Name) and node.id in _BARE_BUILTINS:
+            return node.id
+        dotted = dotted_name(node, aliases)
+        if dotted in _BARE_DOTTED:
+            leaf = dotted.rsplit(".", 1)[-1]
+            return leaf if isinstance(node, ast.Name) else dotted
+        return None
+
+
+def _annotations(tree: ast.Module) -> Iterator[Tuple[ast.expr, str]]:
+    """Every annotation expression with a human-readable owner label."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            every = (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + [a for a in (args.vararg, args.kwarg) if a is not None]
+            )
+            for arg in every:
+                if arg.annotation is not None:
+                    yield arg.annotation, f"parameter '{arg.arg}' of {node.name}"
+            if node.returns is not None:
+                yield node.returns, f"return type of {node.name}"
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            label = (
+                target.id
+                if isinstance(target, ast.Name)
+                else getattr(target, "attr", "<target>")
+            )
+            yield node.annotation, f"annotation of '{label}'"

@@ -1,0 +1,107 @@
+"""Suppression comments: ``# repro: allow[RULE] justification``.
+
+A finding is silenced iff the offending line (or the line a multi-line
+statement *starts* on) carries an allow-comment naming its rule **and**
+the comment includes a non-empty justification after the bracket.  A
+bare ``# repro: allow[RULE]`` with no justification is itself reported
+as ``SUP001`` — unexplained suppressions are exactly the drift this
+analyzer exists to prevent, so ``SUP001`` cannot be suppressed.
+
+Several rules may share one comment: ``# repro: allow[DET003,SHARD002]
+iteration order folded through a commutative sum``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Suppression", "parse_suppressions", "SUP001"]
+
+SUP001 = "SUP001"
+
+#: matches the allow marker in a comment token; justification is the
+#: remainder of the comment after the closing bracket
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]*)\](.*)$")
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One allow-comment: the rules it silences and its justification."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+
+def parse_suppressions(
+    source_lines: List[str], rel_path: str
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract allow-comments from raw source lines.
+
+    Returns ``(suppressions by line, problems)`` where problems are
+    ``SUP001`` findings for malformed or unjustified comments.  Only
+    real ``COMMENT`` tokens count (a marker quoted inside a docstring
+    or string literal is prose, not a suppression), and the marker
+    silences exactly the physical line it sits on, which keeps
+    suppression scope reviewable in diffs.
+    """
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    source = "\n".join(source_lines) + "\n"
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, []  # unparseable file: ERR001 is reported elsewhere
+    for lineno, col_base, text in comments:
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        raw_rules = [part.strip() for part in match.group(1).split(",")]
+        rules = tuple(part for part in raw_rules if part)
+        justification = match.group(2).strip().lstrip("-—:").strip()
+        col = col_base + match.start()
+        if not rules or any(not _RULE_ID_RE.match(rule) for rule in rules):
+            problems.append(
+                Finding(
+                    path=rel_path,
+                    line=lineno,
+                    col=col,
+                    rule=SUP001,
+                    message=(
+                        "malformed suppression: expected "
+                        "'# repro: allow[RULEID] justification' with "
+                        "comma-separated rule ids like DET001"
+                    ),
+                )
+            )
+            continue
+        if not justification:
+            problems.append(
+                Finding(
+                    path=rel_path,
+                    line=lineno,
+                    col=col,
+                    rule=SUP001,
+                    message=(
+                        f"suppression of {', '.join(rules)} has no "
+                        "justification; explain why the finding is a "
+                        "false positive after the closing bracket"
+                    ),
+                )
+            )
+            continue
+        by_line[lineno] = Suppression(
+            line=lineno, rules=rules, justification=justification
+        )
+    return by_line, problems

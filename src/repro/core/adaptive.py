@@ -15,7 +15,7 @@ deregistered with the next configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .catalog import StatisticsCatalog
 from .ilp_builder import OptimizerConfig
@@ -35,7 +35,13 @@ __all__ = [
 ]
 
 
-def plan_signature(plan: SharedPlan) -> Tuple:
+#: (sorted (group, decorated-order) pairs, sorted (store, attr) pairs)
+PlanSignature = Tuple[
+    Tuple[Tuple[str, str], ...], Tuple[Tuple[str, str], ...]
+]
+
+
+def plan_signature(plan: SharedPlan) -> PlanSignature:
     """Canonical fingerprint of a plan: chosen orders + partitioning.
 
     Two plans with the same signature deploy identical topologies, so a
@@ -52,7 +58,7 @@ def store_refcounts(plan: SharedPlan) -> Dict[str, int]:
     """Number of queries each store serves (Section VI.B refcounting)."""
     counts: Dict[str, int] = {store_id: 0 for store_id in plan.stores_used}
     for query in plan.queries:
-        used: set = set()
+        used: Set[str] = set()
         for group, info in plan.chosen.items():
             if group.startswith(f"q:{query.name}:"):
                 for mir in info.decorated.order.stores:
@@ -129,7 +135,7 @@ class AdaptiveController:
         self.solver = solver
         self.queries: Dict[str, Query] = {q.name: q for q in queries}
         self.current_plan: Optional[SharedPlan] = None
-        self.current_signature: Optional[Tuple] = None
+        self.current_signature: Optional[PlanSignature] = None
         self.decisions: List[DecisionRecord] = []
         self._dirty = True  # force a decision on first use
 

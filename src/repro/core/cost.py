@@ -29,7 +29,7 @@ live workload rather than the bootstrap estimates — see
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .catalog import StatisticsCatalog
 from .mir import Mir
@@ -152,7 +152,7 @@ def probe_order_steps(
     key_parts: List[str] = [decorated.start.canonical_id]
 
     prefix_rels = set(decorated.start.relations)
-    applied_preds: set = set()
+    applied_preds: Set[JoinPredicate] = set()
 
     for target, attr in decorated.decorated_stores():
         parallelism = cluster.parallelism(target)

@@ -325,13 +325,16 @@ def _emit_model(
     # Cost linking (Equation 3 or indicator form).
     for name, info in sorted(candidates.items()):
         if config.constraint_form == "indicator":
-            for key in set(info.step_keys):
+            # sorted: constraint order must not depend on PYTHONHASHSEED —
+            # solver pivoting (and thus tie-breaks among equal-cost optima)
+            # follows row order
+            for key in sorted(set(info.step_keys)):
                 model.add_ge(
                     y_vars[key] - x_vars[name], 0.0, name=f"link[{name}:{key[:40]}]"
                 )
         else:
             expr = LinExpr.sum(
-                steps[key].cost * y_vars[key] for key in set(info.step_keys)
+                steps[key].cost * y_vars[key] for key in sorted(set(info.step_keys))
             )
             model.add_ge(
                 expr - info.pcost * x_vars[name], 0.0, name=f"cost[{name}]"

@@ -14,7 +14,16 @@ the cross product over each store's candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from .mir import Mir
 from .probe_order import ProbeOrder
@@ -155,7 +164,9 @@ def apply_partitioning(
     return decorated
 
 
-def _cross_product(options: List[Tuple[Optional[Attribute], ...]]):
+def _cross_product(
+    options: List[Tuple[Optional[Attribute], ...]]
+) -> Iterator[Tuple[Optional[Attribute], ...]]:
     if not options:
         yield ()
         return

@@ -9,7 +9,7 @@ probe-order steps be shared across queries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable, List, Set, Union
 
 from .schema import Attribute
 
@@ -81,7 +81,7 @@ class JoinPredicate:
         return f"{self.left}={self.right}"
 
 
-def as_predicate(predicate) -> JoinPredicate:
+def as_predicate(predicate: Union[str, JoinPredicate]) -> JoinPredicate:
     """Coerce ``"R.a=S.a"`` (or a :class:`JoinPredicate`) to a predicate.
 
     The single parser behind every equality-string entry point
@@ -124,16 +124,16 @@ def attribute_closure(
 
 def connected_components(
     relations: Iterable[str], predicates: Iterable[JoinPredicate]
-) -> list:
+) -> List[FrozenSet[str]]:
     """Connected components of the join graph (relations as nodes)."""
-    adjacency = {rel: set() for rel in relations}
+    adjacency: Dict[str, Set[str]] = {rel: set() for rel in relations}
     for pred in predicates:
         a, b = pred.left.relation, pred.right.relation
         if a in adjacency and b in adjacency:
             adjacency[a].add(b)
             adjacency[b].add(a)
     seen: Set[str] = set()
-    components = []
+    components: List[FrozenSet[str]] = []
     for rel in adjacency:
         if rel in seen:
             continue

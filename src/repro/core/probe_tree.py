@@ -13,7 +13,7 @@ as shared end up physically shared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from .ilp_builder import CandidateInfo
 from .mir import Mir
@@ -81,7 +81,7 @@ class ProbeTreeNode:
         self.children.append(child)
         return child
 
-    def walk(self):
+    def walk(self) -> Iterator["ProbeTreeNode"]:
         """Yield all nodes of the subtree (pre-order)."""
         yield self
         for child in self.children:

@@ -8,7 +8,7 @@ per-relation *window* bounds the maximal time difference for joinability.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 __all__ = ["Attribute", "StreamRelation", "TIMESTAMP_ATTRIBUTE"]
 
@@ -72,9 +72,9 @@ class StreamRelation:
         return name in self.attributes
 
 
-def relation_map(relations: Iterable[StreamRelation]) -> dict:
+def relation_map(relations: Iterable[StreamRelation]) -> Dict[str, StreamRelation]:
     """Index relations by name, rejecting duplicates."""
-    out = {}
+    out: Dict[str, StreamRelation] = {}
     for rel in relations:
         if rel.name in out:
             raise ValueError(f"duplicate relation name {rel.name!r}")

@@ -54,8 +54,13 @@ from typing import (
 )
 
 import numpy as np
+import numpy.typing as npt
 
 from .tuples import StreamTuple, intern_attr
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
 
 __all__ = ["ColumnarContainer", "ColumnBucket", "VectorBatch", "MIN_CAPACITY"]
 
@@ -97,10 +102,10 @@ class VectorBatch:
     def __init__(
         self,
         chains: List[Tuple[StreamTuple, ...]],
-        trigger: np.ndarray,
-        latest: np.ndarray,
-        earliest: np.ndarray,
-        seq: np.ndarray,
+        trigger: FloatArray,
+        latest: FloatArray,
+        earliest: FloatArray,
+        seq: IntArray,
         lineage: FrozenSet[str],
     ) -> None:
         self.chains = chains
@@ -196,9 +201,9 @@ class ColumnBucket:
         self.seq = np.empty(capacity, dtype=np.int64)
         self.width = np.empty(capacity, dtype=np.int64)
         #: attribute -> int64 code column (lazily activated)
-        self.codes: Dict[str, np.ndarray] = {}
+        self.codes: Dict[str, IntArray] = {}
         #: relation -> float64 event-timestamp column (NaN = not in lineage)
-        self.rel_ts: Dict[str, np.ndarray] = {}
+        self.rel_ts: Dict[str, FloatArray] = {}
 
     def _grow(self) -> None:
         new_capacity = max(self.capacity * 2, MIN_CAPACITY)
@@ -214,7 +219,7 @@ class ColumnBucket:
                 table[key] = fresh
         self.capacity = new_capacity
 
-    def compress(self, keep: np.ndarray) -> None:
+    def compress(self, keep: BoolArray) -> None:
         """Keep only the rows selected by the boolean mask ``keep``."""
         kept = int(np.count_nonzero(keep))
         for name in ("latest", "earliest", "seq", "width"):
@@ -561,9 +566,9 @@ class ColumnarContainer:
         # columns are computed once at batch assembly (np.repeat of the
         # scalars against the concatenated slices) rather than with four
         # numpy calls on each tiny segment.
-        seg_latest: List[np.ndarray] = []
-        seg_earliest: List[np.ndarray] = []
-        seg_seq: List[np.ndarray] = []
+        seg_latest: List[FloatArray] = []
+        seg_earliest: List[FloatArray] = []
+        seg_seq: List[IntArray] = []
         seg_counts: List[int] = []
         seg_trig_s: List[float] = []
         seg_lat_s: List[float] = []
@@ -655,9 +660,9 @@ class ColumnarContainer:
         self,
         probe: StreamTuple,
         bucket: ColumnBucket,
-        idx: np.ndarray,
+        idx: IntArray,
         windows: Mapping[str, float],
-    ) -> np.ndarray:
+    ) -> BoolArray:
         """Per-pair window check over the survivor rows (non-uniform case).
 
         For each (probe relation, stored relation) pair the bound is

@@ -12,7 +12,7 @@ The paper's headline measurements map to:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +34,9 @@ class EngineMetrics:
     results_emitted: int = 0
     results_per_query: Dict[str, int] = field(default_factory=dict)
     latencies: List[float] = field(default_factory=list)
-    latency_samples: List[tuple] = field(default_factory=list)  # (time, latency)
+    latency_samples: List[Tuple[float, float]] = field(
+        default_factory=list
+    )  # (time, latency)
     stored_units: float = 0.0
     peak_stored_units: float = 0.0
     migrated_tuples: int = 0
@@ -113,6 +115,17 @@ class EngineMetrics:
         self.rewires += 1
         self.preserved_tuples += preserved_tuples
 
+    def on_late_drop(self, count: int = 1) -> None:
+        """``count`` stragglers were discarded by the ``on_late="drop"``
+        policy (a batch > 1 only when a session folds in tuples dropped
+        while warming up, before this metrics object existed).
+
+        The session's validation boundary calls this instead of writing
+        the counter directly: counter mutation stays engine-internal
+        (enforced by the MET001 analyzer rule).
+        """
+        self.late_dropped += count
+
     def on_failure(self, reason: str) -> None:
         self.failed = True
         self.failure_reason = reason
@@ -138,7 +151,7 @@ class EngineMetrics:
     def p95_latency(self) -> float:
         return float(np.percentile(self.latencies, 95)) if self.latencies else 0.0
 
-    def latency_timeline(self, bucket: float) -> List[tuple]:
+    def latency_timeline(self, bucket: float) -> List[Tuple[float, float]]:
         """(bucket_start, mean latency) series for Fig. 8-style plots."""
         if not self.latency_samples:
             return []

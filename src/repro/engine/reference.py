@@ -27,10 +27,16 @@ that change across runs and Python versions.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Set, Tuple
+from typing import Iterable, List, Mapping, Sequence, Set, Tuple
 
+from ..core.predicates import JoinPredicate
 from ..core.query import Query
 from .tuples import StreamTuple
+
+#: canonical tuple identity as produced by :meth:`StreamTuple.key`
+ResultKey = Tuple[
+    Tuple[Tuple[str, float], ...], Tuple[Tuple[str, str], ...]
+]
 
 __all__ = [
     "reference_join",
@@ -96,7 +102,9 @@ def reference_join(
     return normalized
 
 
-def _match(partial: StreamTuple, candidate: StreamTuple, preds) -> bool:
+def _match(
+    partial: StreamTuple, candidate: StreamTuple, preds: Sequence[JoinPredicate]
+) -> bool:
     for pred in preds:
         if pred.left.relation in partial.timestamps:
             mine, theirs = str(pred.left), str(pred.right)
@@ -107,13 +115,13 @@ def _match(partial: StreamTuple, candidate: StreamTuple, preds) -> bool:
     return True
 
 
-def result_keys(results: Iterable[StreamTuple]) -> Set[Tuple]:
+def result_keys(results: Iterable[StreamTuple]) -> Set[ResultKey]:
     """Canonical result-set representation for comparisons."""
     return {r.key() for r in results}
 
 
 def describe_result_diff(
-    expected: Set[Tuple], got: Set[Tuple], limit: int = 3
+    expected: Set[ResultKey], got: Set[ResultKey], limit: int = 3
 ) -> str:
     """Stable one-line diff between two canonical key sets.
 

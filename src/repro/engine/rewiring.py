@@ -383,7 +383,7 @@ class RewirableRuntime(TopologyRuntime):
         edge = self.topology.edges.get(label)
         return edge if edge is not None else self._edge_archive[label]
 
-    def rules_for(self, store_id: str, label: str):
+    def rules_for(self, store_id: str, label: str) -> List[Rule]:
         rules = self.topology.rulesets.get(store_id, {}).get(label)
         if rules is not None:
             return rules

@@ -63,9 +63,20 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..core.topology import ProbeRule, StoreRule, Topology
+from ..core.topology import EdgeSpec, ProbeRule, Rule, StoreRule, StoreSpec, Topology
 from .columnar import ColumnarContainer, VectorBatch
 from .metrics import EngineMetrics
 from .profiles import CLASH_PROFILE, EngineProfile
@@ -79,6 +90,11 @@ from .stores import (
     probe_batch,
 )
 from .tuples import StreamTuple
+
+#: timed-mode event heap entry: (event time, tie-break seq, kind, payload)
+#: where payload is the coalesced input group for ``"input"`` events and
+#: ``(edge label, store id, task index, tuple)`` for ``"msg"`` events
+_TimedEvent = Tuple[float, int, str, Tuple[Any, ...]]
 
 __all__ = [
     "LateArrivalError",
@@ -276,7 +292,10 @@ class TopologyRuntime:
         self._dispatch_counter = 0
         #: (id(rule), probe lineage) -> (rule ref, oriented predicate pairs);
         #: the rule reference keeps the key's id() stable
-        self._oriented_cache: Dict[tuple, tuple] = {}
+        self._oriented_cache: Dict[
+            Tuple[int, FrozenSet[str]],
+            Tuple[ProbeRule, Tuple[Tuple[str, str], ...]],
+        ] = {}
         self._uniform_window = self._compute_uniform_window()
         #: watermark mode: seq-based probe visibility + per-stream high water
         self._seq_visibility = self.config.disorder_bound is not None
@@ -511,15 +530,20 @@ class TopologyRuntime:
     def on_ingest(self, tup: StreamTuple) -> None:
         """Hook invoked for each input tuple (adaptive: statistics)."""
 
-    def edge_spec(self, label: str):
+    def edge_spec(self, label: str) -> EdgeSpec:
         """Edge lookup (adaptive runtimes archive edges across switches)."""
         return self.topology.edges[label]
 
-    def rules_for(self, store_id: str, label: str):
+    def rules_for(self, store_id: str, label: str) -> List[Rule]:
         """Rule lookup (adaptive runtimes archive rules across switches)."""
         return self.topology.rules_for(store_id, label)
 
-    def _send_logical(self, label: str, tups, now: float) -> None:
+    def _send_logical(
+        self,
+        label: str,
+        tups: Union[Sequence[StreamTuple], VectorBatch],
+        now: float,
+    ) -> None:
         """Deliver a batch of same-lineage tuples along one edge.
 
         ``tups`` is either a tuple sequence or a
@@ -623,7 +647,11 @@ class TopologyRuntime:
             self._send_logical(out_label, batch, now)
 
     @staticmethod
-    def _append_out(out_batches: Dict[str, object], out_label: str, matches):
+    def _append_out(
+        out_batches: Dict[str, Union[VectorBatch, List[StreamTuple]]],
+        out_label: str,
+        matches: Union[VectorBatch, Iterable[StreamTuple]],
+    ) -> None:
         """Accumulate one rule's survivors into the pending hop payloads.
 
         A vector batch stays vectorized only while it is the sole payload
@@ -644,7 +672,9 @@ class TopologyRuntime:
         else:
             pending.extend(matches)
 
-    def _oriented_for(self, rule: ProbeRule, lineage) -> tuple:
+    def _oriented_for(
+        self, rule: ProbeRule, lineage: FrozenSet[str]
+    ) -> Tuple[Tuple[str, str], ...]:
         """Cached (probe attr, stored attr) orientation for a rule+lineage."""
         key = (id(rule), lineage)
         entry = self._oriented_cache.get(key)
@@ -669,7 +699,7 @@ class TopologyRuntime:
         # applies — overridden per-input hooks (adaptive epoch switches must
         # not reorder in-flight messages across an install) or a memory
         # budget (the overflow point is defined per event) force it.
-        heap: List[Tuple[float, int, str, tuple]] = []
+        heap: List[_TimedEvent] = []
         seq = itertools.count()
         cap = self.config.batch_size if self._batchable else 1
         group: List[StreamTuple] = []
@@ -744,7 +774,14 @@ class TopologyRuntime:
             self._maybe_evict(now)
             self._check_memory()
 
-    def _send_timed(self, heap, seq, label: str, tup: StreamTuple, now: float) -> None:
+    def _send_timed(
+        self,
+        heap: List[_TimedEvent],
+        seq: Iterator[int],
+        label: str,
+        tup: StreamTuple,
+        now: float,
+    ) -> None:
         edge = self.edge_spec(label)
         spec = self._store_spec(edge.target_store)
         targets = self._resolve_targets(label, edge, spec, tup)
@@ -770,7 +807,7 @@ class TopologyRuntime:
 
     def _apply_rules(
         self, task: StoreTask, label: str, store_id: str, tup: StreamTuple
-    ):
+    ) -> List[Tuple[StreamTuple, Tuple[str, ...], Tuple[str, ...]]]:
         """Execute Algorithm 3 for one delivered tuple (timed mode).
 
         Returns ``(result, completed queries, out edges)`` triples; raw
@@ -778,7 +815,7 @@ class TopologyRuntime:
         """
         self._last_probe_cost = 0
         self._last_stored = False
-        emissions = []
+        emissions: List[Tuple[StreamTuple, Tuple[str, ...], Tuple[str, ...]]] = []
         for rule in self.rules_for(store_id, label):
             if isinstance(rule, StoreRule):
                 task.insert(self._epoch, tup)
@@ -801,11 +838,13 @@ class TopologyRuntime:
                     emissions.append((match, rule.outputs, rule.out_edges))
         return emissions
 
-    def _store_spec(self, store_id: str):
+    def _store_spec(self, store_id: str) -> StoreSpec:
         """Store-spec lookup (archived across switches by adaptive runtimes)."""
         return self.topology.stores[store_id]
 
-    def _resolve_targets(self, label, edge, spec, tup) -> List[int]:
+    def _resolve_targets(
+        self, label: str, edge: EdgeSpec, spec: StoreSpec, tup: StreamTuple
+    ) -> List[int]:
         targets = target_tasks(edge, spec, tup)
         if len(targets) > 1 and self._storage_edges.get(label):
             # A storage edge must place each tuple on exactly one task;

@@ -68,9 +68,25 @@ import time
 import traceback
 import weakref
 from dataclasses import replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NoReturn,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from ..core.adaptive import diff_topologies
+from ..core.adaptive import TopologyDiff, diff_topologies
+from ..core.predicates import JoinPredicate
 from ..core.schema import Attribute
 from ..core.topology import Topology
 from .metrics import EngineMetrics
@@ -84,6 +100,10 @@ from .runtime import (
 )
 from .statistics import EpochStatistics
 from .tuples import StreamTuple
+
+#: driver <-> worker protocol message: ("batch", ...), ("drain",),
+#: ("dump",), ("error", traceback), ... — a command tag plus payload
+_Msg = Tuple[Any, ...]
 
 __all__ = ["ShardFailedError", "ShardRouter", "ShardedRuntime"]
 
@@ -163,7 +183,7 @@ class ShardRouter:
         """
         relations = set(topology.ingest)
         predicates = set()
-        units: List[Tuple[FrozenSet[str], Tuple]] = []
+        units: List[Tuple[FrozenSet[str], Tuple[JoinPredicate, ...]]] = []
         for query in topology.queries.values():
             relations |= set(query.relation_set)
             predicates |= set(query.predicates)
@@ -190,7 +210,7 @@ class ShardRouter:
             a, b = find(pred.left), find(pred.right)
             if a != b:
                 parent[max(a, b)] = min(a, b)
-        classes: Dict[Attribute, set] = {}
+        classes: Dict[Attribute, Set[Attribute]] = {}
         for pred in predicates:
             for attr in (pred.left, pred.right):
                 classes.setdefault(find(attr), set()).add(attr)
@@ -218,7 +238,8 @@ class ShardRouter:
 
     @staticmethod
     def _routing_for(
-        class_attrs: FrozenSet[Attribute], units: Sequence[Tuple[FrozenSet[str], Tuple]]
+        class_attrs: FrozenSet[Attribute],
+        units: Sequence[Tuple[FrozenSet[str], Tuple[JoinPredicate, ...]]],
     ) -> Dict[str, str]:
         """Partitioned relations (and routing attrs) safe for one class.
 
@@ -323,9 +344,11 @@ class ShardRouter:
     __repr__ = describe
 
 
-def _components(nodes: Iterable[str], adjacency: Dict[str, set]) -> List[frozenset]:
-    seen: set = set()
-    out: List[frozenset] = []
+def _components(
+    nodes: Iterable[str], adjacency: Dict[str, Set[str]]
+) -> List[FrozenSet[str]]:
+    seen: Set[str] = set()
+    out: List[FrozenSet[str]] = []
     for node in sorted(nodes):
         if node in seen:
             continue
@@ -347,7 +370,14 @@ def _components(nodes: Iterable[str], adjacency: Dict[str, set]) -> List[frozens
 class _ShardWorkerRuntime(RewirableRuntime):
     """One shard's runtime: pre-assigned seqs, shard-0 emission attribution."""
 
-    def __init__(self, topology, windows, config, shard, partitioned):
+    def __init__(
+        self,
+        topology: Topology,
+        windows: Dict[str, float],
+        config: RuntimeConfig,
+        shard: int,
+        partitioned: FrozenSet[str],
+    ) -> None:
         super().__init__(topology, windows, config)
         self._shard = shard
         self._partitioned: FrozenSet[str] = partitioned
@@ -420,7 +450,7 @@ class _WorkerState:
         runtime.metrics.peak_stored_units = width
 
     # ------------------------------------------------------------------
-    def handle(self, msg: tuple):
+    def handle(self, msg: _Msg) -> Optional[_Msg]:
         cmd = msg[0]
         if cmd == "batch":
             _, tuples, highs = msg
@@ -514,7 +544,13 @@ class _WorkerState:
 
 
 def _shard_worker_main(
-    conn, shard, router, topology, windows, config, collect_stats=False
+    conn: Connection,
+    shard: int,
+    router: ShardRouter,
+    topology: Topology,
+    windows: Dict[str, float],
+    config: RuntimeConfig,
+    collect_stats: bool = False,
 ) -> None:
     """Process entry point: a recv/handle/reply loop over one pipe."""
     try:
@@ -554,15 +590,22 @@ def _shard_worker_main(
 class _InlineShard:
     """In-process transport: same protocol, no pipes (tests, debugging)."""
 
-    def __init__(self, shard, router, topology, windows, config,
-                 collect_stats=False):
+    def __init__(
+        self,
+        shard: int,
+        router: ShardRouter,
+        topology: Topology,
+        windows: Dict[str, float],
+        config: RuntimeConfig,
+        collect_stats: bool = False,
+    ) -> None:
         self._state = _WorkerState(
             shard, router, topology, windows, config, inline=True,
             collect_stats=collect_stats,
         )
-        self._reply = None
+        self._reply: Optional[_Msg] = None
 
-    def send(self, msg: tuple) -> None:
+    def send(self, msg: _Msg) -> None:
         if msg[0] == "stop":
             self._reply = ("bye",)
             return
@@ -571,7 +614,7 @@ class _InlineShard:
         except _SimulatedCrash as exc:
             raise BrokenPipeError(str(exc)) from exc
 
-    def recv(self, timeout: float):
+    def recv(self, timeout: float) -> _Msg:
         reply, self._reply = self._reply, None
         if reply is None:
             raise EOFError("no pending reply")
@@ -587,8 +630,16 @@ class _InlineShard:
 class _ProcessShard:
     """One worker process plus its duplex pipe."""
 
-    def __init__(self, ctx, shard, router, topology, windows, config,
-                 collect_stats=False):
+    def __init__(
+        self,
+        ctx: BaseContext,
+        shard: int,
+        router: ShardRouter,
+        topology: Topology,
+        windows: Dict[str, float],
+        config: RuntimeConfig,
+        collect_stats: bool = False,
+    ) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.proc = ctx.Process(
@@ -603,19 +654,22 @@ class _ProcessShard:
         self.proc.start()
         child_conn.close()
 
-    def send(self, msg: tuple) -> None:
+    def send(self, msg: _Msg) -> None:
         self.conn.send(msg)
 
-    def recv(self, timeout: float):
+    def recv(self, timeout: float) -> _Msg:
         """Bounded receive: polls in small steps so a dead worker is
         detected promptly instead of blocking forever."""
-        deadline = time.monotonic() + timeout
+        deadline = (
+            time.monotonic()  # repro: allow[DET001] liveness deadline on the driver-worker pipe only; never feeds results
+            + timeout
+        )
         while True:
             if self.conn.poll(0.05):
                 return self.conn.recv()
             if not self.proc.is_alive() and not self.conn.poll(0.0):
                 raise EOFError("worker process died")
-            if time.monotonic() > deadline:
+            if time.monotonic() > deadline:  # repro: allow[DET001] same liveness deadline; timing out fails the run loudly
                 raise TimeoutError(f"no reply within {timeout:g}s")
 
     def alive(self) -> bool:
@@ -631,7 +685,10 @@ class _ProcessShard:
         self.proc.join(timeout=5.0)
 
 
-def _terminate_pool(shards) -> None:
+_Transport = Union[_InlineShard, "_ProcessShard"]
+
+
+def _terminate_pool(shards: Iterable[_Transport]) -> None:
     for shard in shards:
         try:
             shard.terminate()
@@ -664,7 +721,7 @@ class ShardedRuntime:
         windows: Dict[str, float],
         config: Optional[RuntimeConfig] = None,
         transport: str = "process",
-        stats_sink=None,
+        stats_sink: Optional[Callable[[EpochStatistics], None]] = None,
     ) -> None:
         """``stats_sink`` enables shard-side statistics fold-back: each
         worker observes its accepted inputs into an
@@ -713,7 +770,7 @@ class ShardedRuntime:
             self, _terminate_pool, list(self._shards)
         )
 
-    def _spawn_pool(self):
+    def _spawn_pool(self) -> List[_Transport]:
         collect = self._stats_sink is not None
         if self.transport == "inline":
             return [
@@ -928,7 +985,13 @@ class ShardedRuntime:
         self.switches.append(record)
         return record
 
-    def _reshard(self, topology, new_router, diff, now: float) -> int:
+    def _reshard(
+        self,
+        topology: Topology,
+        new_router: ShardRouter,
+        diff: TopologyDiff,
+        now: float,
+    ) -> int:
         """Stop-the-world re-partition under a changed partition class."""
         dumps = self._broadcast_collect(("dump",))
         # the workers restart with fresh metrics: bank their flow counters
@@ -1005,13 +1068,13 @@ class ShardedRuntime:
     # ------------------------------------------------------------------
     # transport plumbing + failure detection
     # ------------------------------------------------------------------
-    def _send(self, idx: int, msg: tuple) -> None:
+    def _send(self, idx: int, msg: _Msg) -> None:
         try:
             self._shards[idx].send(msg)
         except (BrokenPipeError, EOFError, OSError) as exc:
             self._shard_failed(idx, f"send failed: {exc}")
 
-    def _collect(self, idx: int):
+    def _collect(self, idx: int) -> _Msg:
         try:
             reply = self._shards[idx].recv(self.sync_timeout)
         except (EOFError, OSError) as exc:
@@ -1022,17 +1085,17 @@ class ShardedRuntime:
             self._shard_failed(idx, f"worker error:\n{reply[1]}")
         return reply
 
-    def _broadcast_collect(self, msg: tuple) -> List[tuple]:
+    def _broadcast_collect(self, msg: _Msg) -> List[_Msg]:
         """Send one command to every shard, then collect all replies (the
         workers run the command concurrently)."""
         for idx in range(self.num_shards):
             self._send(idx, msg)
         return self._collect_all()
 
-    def _collect_all(self) -> List[tuple]:
+    def _collect_all(self) -> List[_Msg]:
         return [self._collect(idx) for idx in range(self.num_shards)]
 
-    def _shard_failed(self, idx: int, reason: str) -> None:
+    def _shard_failed(self, idx: int, reason: str) -> NoReturn:
         message = f"shard {idx}/{self.num_shards} failed: {reason}"
         self.metrics.on_failure(message)
         self.close()
@@ -1064,5 +1127,5 @@ class ShardedRuntime:
     def __enter__(self) -> "ShardedRuntime":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

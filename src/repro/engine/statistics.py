@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..core.catalog import StatisticsCatalog
 from ..core.predicates import JoinPredicate
@@ -35,8 +35,8 @@ class EpochStatistics:
 
     epoch: int
     counts: Dict[str, int] = field(default_factory=dict)
-    histograms: Dict[str, Counter] = field(default_factory=dict)
-    _saturated: set = field(default_factory=set)
+    histograms: Dict[str, "Counter[object]"] = field(default_factory=dict)
+    _saturated: Set[str] = field(default_factory=set)
     first_ts: Optional[float] = None
     last_ts: Optional[float] = None
 
@@ -113,7 +113,7 @@ class EpochStatistics:
             rate = self.rate(relation, epoch_length)
             if rate:
                 catalog.with_rate(relation, rate)
-        seen: set = set()
+        seen: Set[JoinPredicate] = set()
         for query in queries:
             for pred in query.predicates:
                 if pred in seen:

@@ -77,7 +77,7 @@ class StreamTuple:
         """Number of contributing relations (tuple size proxy for memory)."""
         return len(self.timestamps)
 
-    def get(self, qualified_attr: str):
+    def get(self, qualified_attr: str) -> object:
         return self.values.get(qualified_attr)
 
     def merge(self, other: "StreamTuple") -> "StreamTuple":
@@ -142,7 +142,9 @@ class StreamTuple:
             return False
         return other.latest_ts - self.earliest_ts <= window
 
-    def key(self) -> Tuple:
+    def key(
+        self,
+    ) -> Tuple[Tuple[Tuple[str, float], ...], Tuple[Tuple[str, str], ...]]:
         """Canonical identity (used for result-set comparisons in tests)."""
         return (
             tuple(sorted(self.timestamps.items())),

@@ -720,7 +720,7 @@ class JoinSession:
                     self._validate_order(tup.trigger, ts)
                 except LateTupleError:
                     if policy == "drop":
-                        metrics.late_dropped += 1
+                        metrics.on_late_drop()
                         return
                     raise
                 loop.advance(ts)
@@ -732,7 +732,7 @@ class JoinSession:
                 # leaves both engine and session untouched; any other error
                 # from the cascade propagates unswallowed
                 if policy == "drop":
-                    metrics.late_dropped += 1
+                    metrics.on_late_drop()
                     return
                 raise LateTupleError(str(exc)) from exc
             self._record(tup)
@@ -937,7 +937,8 @@ class JoinSession:
                 self._listeners,
             )
         # stragglers dropped while warming up belong to the same counter
-        self._runtime.metrics.late_dropped += self._warmup_late_dropped
+        if self._warmup_late_dropped:
+            self._runtime.metrics.on_late_drop(self._warmup_late_dropped)
         self._plan, self._catalog = plan, catalog
         # seed the controller with the plan just deployed: every later
         # decision — epoch boundary, query churn, explicit reoptimize —

@@ -1,0 +1,33 @@
+"""Shared helpers for the analyzer's golden-fixture suite.
+
+Fixtures under ``fixtures/`` are real, syntax-highlighted source files;
+each test plants them at the *scoped* location a rule watches (e.g.
+``src/repro/engine/``) inside a synthetic project tree, then runs
+:func:`repro.analysis.analyze` rooted at that tree.
+"""
+
+from pathlib import Path
+from typing import Mapping
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: minimal ratchet config activating the TYP rules for repro.engine.*
+MYPY_INI = """\
+[mypy]
+python_version = 3.10
+
+[mypy-repro.engine.*]
+disallow_untyped_defs = True
+"""
+
+
+def fixture_text(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+def build_tree(root: Path, files: Mapping[str, str]) -> None:
+    """Materialize ``{relative path: content}`` under ``root``."""
+    for rel, content in files.items():
+        dest = root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(content, encoding="utf-8")

@@ -1,0 +1,5 @@
+"""API001/API002 non-firing fixture: exports documented and bound."""
+
+documented = 1
+
+__all__ = ["documented"]

@@ -1,0 +1,10 @@
+"""API001 + API002 firing fixture, planted at ``src/repro/__init__.py``.
+
+``undocumented`` is exported but missing from docs/api.md (API001);
+``dangling`` is exported but bound nowhere in the module (API002).
+"""
+
+documented = 1
+undocumented = 2
+
+__all__ = ["documented", "undocumented", "dangling"]

@@ -1,0 +1,7 @@
+"""DET001 non-firing fixture: perf_counter durations are allowed."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start

@@ -1,0 +1,7 @@
+"""DET001 firing fixture: wall-clock read in a deterministic-core file."""
+
+import time
+
+
+def deadline() -> float:
+    return time.time() + 5.0

@@ -1,0 +1,11 @@
+"""DET002 non-firing fixture: every RNG takes an explicit seed."""
+
+import random
+
+from numpy.random import default_rng
+
+
+def draw(seed: int) -> int:
+    rng = random.Random(seed)
+    np_rng = default_rng(seed)
+    return rng.randrange(10) + int(np_rng.integers(10))

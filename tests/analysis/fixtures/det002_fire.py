@@ -1,0 +1,10 @@
+"""DET002 firing fixture: module-level RNG and seedless constructors."""
+
+import random
+
+from numpy.random import default_rng
+
+
+def draw() -> int:
+    rng = default_rng()
+    return random.randrange(10) + int(rng.integers(10))

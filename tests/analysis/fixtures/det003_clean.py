@@ -1,0 +1,10 @@
+"""DET003 non-firing fixture: sorted() pins the iteration order."""
+
+from typing import List, Set
+
+
+def collect(items: Set[str]) -> List[str]:
+    out: List[str] = []
+    for item in sorted(items):
+        out.append(item)
+    return out

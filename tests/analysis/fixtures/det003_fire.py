@@ -1,0 +1,10 @@
+"""DET003 firing fixture: set iteration feeding an ordered sink."""
+
+from typing import List, Set
+
+
+def collect(items: Set[str]) -> List[str]:
+    out: List[str] = []
+    for item in items:
+        out.append(item)
+    return out

@@ -1,0 +1,4 @@
+"""ERR001 firing fixture: the file does not parse."""
+
+def broken(:
+    pass

@@ -1,0 +1,5 @@
+"""MET001 non-firing fixture: mutation goes through the on_* method."""
+
+
+def ingest(metrics: object) -> None:
+    metrics.on_input()  # type: ignore[attr-defined]

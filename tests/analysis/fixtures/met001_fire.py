@@ -1,0 +1,5 @@
+"""MET001 firing fixture: counter write outside src/repro/engine/."""
+
+
+def ingest(metrics: object) -> None:
+    metrics.inputs_ingested += 1  # type: ignore[attr-defined]

@@ -1,0 +1,10 @@
+"""MET002 non-firing fixture: every field is documented (underscore
+fields are exempt)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineMetrics:
+    inputs_ingested: int = 0
+    _scratch: int = 0

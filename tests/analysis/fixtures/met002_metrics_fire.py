@@ -1,0 +1,13 @@
+"""MET002 firing fixture: an EngineMetrics field absent from the docs.
+
+Planted at ``src/repro/engine/metrics.py`` in a synthetic tree whose
+``docs/engine.md`` does not mention ``mystery_counter``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineMetrics:
+    inputs_ingested: int = 0
+    mystery_counter: int = 0

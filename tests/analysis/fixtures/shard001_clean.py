@@ -1,0 +1,5 @@
+"""SHARD001 non-firing fixture: only picklable data crosses the pipe."""
+
+
+def ship(conn: object) -> None:
+    conn.send(("work", 41))  # type: ignore[attr-defined]

@@ -1,0 +1,5 @@
+"""SHARD001 firing fixture: a closure shipped through a transport call."""
+
+
+def ship(conn: object) -> None:
+    conn.send(("work", lambda x: x + 1))  # type: ignore[attr-defined]

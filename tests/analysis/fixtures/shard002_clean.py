@@ -1,0 +1,10 @@
+"""SHARD002 non-firing fixture: state lives on an instance."""
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> int:
+        self.value += 1
+        return self.value

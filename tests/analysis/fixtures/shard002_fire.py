@@ -1,0 +1,9 @@
+"""SHARD002 firing fixture: per-process global mutation."""
+
+_COUNTER = 0
+
+
+def bump() -> int:
+    global _COUNTER
+    _COUNTER += 1
+    return _COUNTER

@@ -1,0 +1,8 @@
+"""SUP001 non-firing fixture: a justified suppression (also silences
+the DET001 finding on the same line)."""
+
+import time
+
+
+def deadline() -> float:
+    return time.time() + 5.0  # repro: allow[DET001] fixture: bounded retry loop, never feeds results

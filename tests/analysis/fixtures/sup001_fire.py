@@ -1,0 +1,7 @@
+"""SUP001 firing fixture: suppressions without justification."""
+
+import time
+
+
+def deadline() -> float:
+    return time.time() + 5.0  # repro: allow[DET001]

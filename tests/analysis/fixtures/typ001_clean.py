@@ -1,0 +1,9 @@
+"""TYP001 non-firing fixture: complete signatures (self is exempt)."""
+
+
+class Box:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def get(self) -> int:
+        return self.value

@@ -1,0 +1,5 @@
+"""TYP001 firing fixture: incomplete signatures in a ratcheted module."""
+
+
+def untyped(value):
+    return value

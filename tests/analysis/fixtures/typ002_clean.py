@@ -1,0 +1,7 @@
+"""TYP002 non-firing fixture: generics fully parameterized."""
+
+from typing import List, Sequence
+
+
+def heads(rows: Sequence[Sequence[int]]) -> List[int]:
+    return [row[0] for row in rows]

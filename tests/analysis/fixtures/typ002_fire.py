@@ -1,0 +1,7 @@
+"""TYP002 firing fixture: bare generics in a ratcheted module."""
+
+from typing import List
+
+
+def heads(rows: List) -> list:
+    return [row[0] for row in rows]

@@ -1,0 +1,108 @@
+"""CLI contract: exit codes, human rendering, and the ``--json`` schema."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+from conftest import build_tree, fixture_text
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    build_tree(
+        tmp_path,
+        {"src/repro/engine/fx_clock.py": fixture_text("det001_fire.py")},
+    )
+    return tmp_path
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    build_tree(
+        tmp_path,
+        {"src/repro/engine/fx_clock.py": fixture_text("det001_clean.py")},
+    )
+    return tmp_path
+
+
+def test_findings_exit_1_with_rule_and_location(dirty_tree, capsys):
+    code = main([str(dirty_tree / "src"), "--root", str(dirty_tree)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "src/repro/engine/fx_clock.py:" in out
+    assert "finding(s)" in out
+
+
+def test_clean_tree_exits_0(clean_tree, capsys):
+    code = main([str(clean_tree / "src"), "--root", str(clean_tree)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_json_schema(dirty_tree, capsys):
+    code = main(
+        [str(dirty_tree / "src"), "--root", str(dirty_tree), "--json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "schema_version",
+        "ok",
+        "files_scanned",
+        "counts",
+        "findings",
+        "suppressed",
+    }
+    assert payload["schema_version"] == 1
+    assert payload["ok"] is False
+    assert payload["counts"].get("DET001") == 1
+    finding = payload["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["path"] == "src/repro/engine/fx_clock.py"
+
+
+def test_rules_filter(dirty_tree, capsys):
+    code = main(
+        [
+            str(dirty_tree / "src"),
+            "--root",
+            str(dirty_tree),
+            "--rules",
+            "DET002",
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0  # DET001 site ignored when only DET002 runs
+
+
+def test_unknown_rule_is_usage_error(dirty_tree, capsys):
+    code = main(
+        [
+            str(dirty_tree / "src"),
+            "--root",
+            str(dirty_tree),
+            "--rules",
+            "NOPE999",
+        ]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "NOPE999" in err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    code = main([str(tmp_path / "does-not-exist"), "--root", str(tmp_path)])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    code = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in ("DET001", "SHARD001", "MET001", "API001", "TYP001", "SUP001"):
+        assert rule in out

@@ -1,0 +1,166 @@
+"""Golden-fixture tests: every rule has a firing and a non-firing case.
+
+``CASES`` is the single source of truth mapping rules to their fixture
+files and to the scoped destination each fixture is planted at;
+``test_catalog.py`` cross-checks it against the registered rule catalog.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.analysis import analyze
+
+from conftest import MYPY_INI, build_tree, fixture_text
+
+#: docs planted alongside MET002/API001 trees
+_ENGINE_DOC_BASE = "# Engine\n\nCounts `inputs_ingested` tuples.\n"
+_API_DOC_BASE = "# API\n\nExports `documented`.\n"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One rule's fixture pair and where the fixtures get planted."""
+
+    rules: Tuple[str, ...]
+    fire: str
+    clean: str
+    dest: str
+    extra: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+CASES = [
+    Case(("DET001",), "det001_fire.py", "det001_clean.py",
+         "src/repro/engine/fx_clock.py"),
+    Case(("DET002",), "det002_fire.py", "det002_clean.py",
+         "src/repro/engine/fx_rng.py"),
+    Case(("DET003",), "det003_fire.py", "det003_clean.py",
+         "src/repro/engine/fx_order.py"),
+    Case(("SHARD001",), "shard001_fire.py", "shard001_clean.py",
+         "src/repro/engine/fx_ship.py"),
+    Case(("SHARD002",), "shard002_fire.py", "shard002_clean.py",
+         "src/repro/engine/fx_state.py"),
+    Case(
+        ("MET001",), "met001_fire.py", "met001_clean.py",
+        "src/repro/fx_outside.py",
+        extra=(
+            ("src/repro/engine/metrics.py",
+             fixture_text("met002_metrics_clean.py")),
+            ("docs/engine.md", _ENGINE_DOC_BASE),
+        ),
+    ),
+    Case(
+        ("MET002",), "met002_metrics_fire.py", "met002_metrics_clean.py",
+        "src/repro/engine/metrics.py",
+        extra=(("docs/engine.md", _ENGINE_DOC_BASE),),
+    ),
+    Case(
+        ("API001", "API002"), "api_init_fire.py", "api_init_clean.py",
+        "src/repro/__init__.py",
+        extra=(("docs/api.md", _API_DOC_BASE),),
+    ),
+    Case(
+        ("TYP001",), "typ001_fire.py", "typ001_clean.py",
+        "src/repro/engine/fx_typed.py",
+        extra=(("mypy.ini", MYPY_INI),),
+    ),
+    Case(
+        ("TYP002",), "typ002_fire.py", "typ002_clean.py",
+        "src/repro/engine/fx_generics.py",
+        extra=(("mypy.ini", MYPY_INI),),
+    ),
+    Case(("SUP001",), "sup001_fire.py", "sup001_clean.py",
+         "src/repro/engine/fx_suppressed.py"),
+    Case(("ERR001",), "err001_fire.py", "det001_clean.py",
+         "src/repro/engine/fx_parse.py"),
+]
+
+
+def _run(tmp_path, case: Case, fixture_name: str) -> Dict[str, int]:
+    build_tree(tmp_path, {case.dest: fixture_text(fixture_name), **dict(case.extra)})
+    report = analyze([tmp_path / "src"], root=tmp_path)
+    return report.counts_by_rule()
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: "+".join(c.rules))
+class TestGoldenFixtures:
+    def test_firing_fixture_fires(self, tmp_path, case):
+        counts = _run(tmp_path, case, case.fire)
+        for rule in case.rules:
+            assert counts.get(rule), (
+                f"{case.fire} planted at {case.dest} should trigger {rule}; "
+                f"got {counts}"
+            )
+
+    def test_clean_fixture_is_silent(self, tmp_path, case):
+        counts = _run(tmp_path, case, case.clean)
+        for rule in case.rules:
+            assert not counts.get(rule), (
+                f"{case.clean} planted at {case.dest} should not trigger "
+                f"{rule}; got {counts}"
+            )
+
+
+class TestFindingShape:
+    def test_findings_carry_rule_and_location(self, tmp_path):
+        case = CASES[0]
+        build_tree(tmp_path, {case.dest: fixture_text(case.fire)})
+        report = analyze([tmp_path / "src"], root=tmp_path)
+        finding = next(f for f in report.findings if f.rule == "DET001")
+        assert finding.path == case.dest
+        assert finding.line > 0
+        rendered = finding.render()
+        assert f"{case.dest}:{finding.line}:" in rendered
+        assert "DET001" in rendered
+
+
+class TestSuppressions:
+    def test_justified_suppression_moves_finding(self, tmp_path):
+        dest = "src/repro/engine/fx_suppressed.py"
+        build_tree(tmp_path, {dest: fixture_text("sup001_clean.py")})
+        report = analyze([tmp_path / "src"], root=tmp_path)
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+
+    def test_unjustified_suppression_is_sup001_and_does_not_silence(
+        self, tmp_path
+    ):
+        dest = "src/repro/engine/fx_suppressed.py"
+        build_tree(tmp_path, {dest: fixture_text("sup001_fire.py")})
+        report = analyze([tmp_path / "src"], root=tmp_path)
+        rules = sorted(f.rule for f in report.findings)
+        # the DET001 finding survives AND the bad comment is flagged
+        assert rules == ["DET001", "SUP001"]
+        assert not report.suppressed
+
+    def test_marker_in_docstring_is_prose(self, tmp_path):
+        dest = "src/repro/engine/fx_doc.py"
+        source = (
+            '"""Mentions # repro: allow[DET001] as prose only."""\n'
+            "\n"
+            "VALUE = 1\n"
+        )
+        build_tree(tmp_path, {dest: source})
+        report = analyze([tmp_path / "src"], root=tmp_path)
+        assert report.ok, report.render()
+
+
+class TestRuleSelection:
+    def test_rules_filter_runs_only_named_rules(self, tmp_path):
+        build_tree(
+            tmp_path,
+            {
+                "src/repro/engine/fx_clock.py": fixture_text("det001_fire.py"),
+                "src/repro/engine/fx_rng.py": fixture_text("det002_fire.py"),
+            },
+        )
+        report = analyze(
+            [tmp_path / "src"], root=tmp_path, rule_ids=["DET002"]
+        )
+        assert set(report.counts_by_rule()) == {"DET002"}
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        build_tree(tmp_path, {"src/repro/engine/fx.py": "VALUE = 1\n"})
+        with pytest.raises(ValueError, match="NOPE999"):
+            analyze([tmp_path / "src"], root=tmp_path, rule_ids=["NOPE999"])

@@ -1,0 +1,90 @@
+"""Cross-interpreter determinism: results must not depend on PYTHONHASHSEED.
+
+Regression coverage for the DET003 finding in ``ilp_builder``: the cost
+linking loop iterated a *set* of step keys while appending constraints,
+so the model's row order — and therefore solver pivoting and the
+tie-break among equal-cost optima — varied with the process hash seed.
+Each test builds the same artifact in subprocesses launched with
+different ``PYTHONHASHSEED`` values and requires identical output.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_ILP_SCRIPT = """
+import hashlib
+from repro.core.catalog import StatisticsCatalog
+from repro.core.ilp_builder import OptimizerConfig, build_mqo_ilp
+from repro.core.predicates import JoinPredicate
+from repro.core.query import Query
+
+q1 = Query.of("q1", "R.a=S.a", "S.b=T.b")
+q2 = Query.of("q2", "S.b=T.b", "T.c=U.c")
+cat = StatisticsCatalog(default_selectivity=0.01)
+for rel in "RSTU":
+    cat.with_rate(rel, 100.0)
+cat.with_selectivity(JoinPredicate.of("S.b", "T.b"), 0.015)
+for form in ("indicator", "paper"):
+    ilp = build_mqo_ilp(
+        (q1, q2), cat, OptimizerConfig(constraint_form=form)
+    )
+    rows = "\\n".join(
+        f"{c.name}|{sorted((v.name, w) for v, w in c.expr.terms.items())}"
+        for c in ilp.model.constraints
+    )
+    print(form, hashlib.sha256(rows.encode()).hexdigest())
+"""
+
+_FEED_SCRIPT = """
+import hashlib
+from repro.streams.generators import (
+    StreamSpec,
+    bounded_delay_feed,
+    generate_streams,
+    uniform_domain,
+    zipf_domain,
+)
+
+specs = [
+    StreamSpec("R", rate=40.0, attributes={"a": uniform_domain(25)}),
+    StreamSpec(
+        "S",
+        rate=40.0,
+        attributes={"a": uniform_domain(25), "b": zipf_domain(25)},
+    ),
+    StreamSpec("T", rate=40.0, attributes={"b": uniform_domain(25)}),
+]
+streams, merged = generate_streams(specs, duration=5.0, seed=7)
+feed = bounded_delay_feed(streams, 1.0, seed=11)
+# per-tuple canonical keys *in feed order*: covers both the generated
+# values and the arrival permutation
+text = "\\n".join(repr(t.key()) for t in merged + feed)
+print(hashlib.sha256(text.encode()).hexdigest())
+"""
+
+
+def _run_with_hash_seed(script: str, hash_seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("script", [_ILP_SCRIPT, _FEED_SCRIPT], ids=["ilp", "feed"])
+def test_output_independent_of_hash_seed(script):
+    baseline = _run_with_hash_seed(script, "0")
+    for seed in ("1", "424242"):
+        assert _run_with_hash_seed(script, seed) == baseline

@@ -36,6 +36,47 @@ def test_no_undocumented_exports():
     )
 
 
+def test_analyzer_api_rules_pass_on_live_surface():
+    """The API drift rules (``repro.analysis``) agree the surface is clean.
+
+    Same contract as :func:`test_no_undocumented_exports`, but enforced
+    through the analyzer CI runs (`python -m repro.analysis src/`): API001
+    flags ``repro.__all__`` entries absent from docs/api.md, API002 flags
+    ``__all__`` entries that are never bound.  Consuming the checker here
+    keeps the regex test and the analyzer from drifting apart.
+    """
+    from repro.analysis import analyze
+
+    repo_root = API_DOC.parent.parent
+    report = analyze(
+        [repo_root / "src" / "repro" / "__init__.py"],
+        root=repo_root,
+        rule_ids=["API001", "API002"],
+    )
+    assert report.files_scanned == 1
+    assert report.ok, "\n" + report.render()
+
+
+def test_analyzer_api_rules_have_teeth(tmp_path):
+    """Planting an undocumented export makes API001 fire — the clean
+    result above is not a vacuous pass."""
+    from repro.analysis import analyze
+
+    init = tmp_path / "src" / "repro" / "__init__.py"
+    init.parent.mkdir(parents=True)
+    init.write_text(
+        "documented = 1\nsurprise = 2\n"
+        '__all__ = ["documented", "surprise"]\n',
+        encoding="utf-8",
+    )
+    doc = tmp_path / "docs" / "api.md"
+    doc.parent.mkdir()
+    doc.write_text("Only `documented` is described here.\n", encoding="utf-8")
+    report = analyze([init], root=tmp_path, rule_ids=["API001", "API002"])
+    assert [f.rule for f in report.findings] == ["API001"]
+    assert "surprise" in report.findings[0].message
+
+
 def test_facade_is_exported_first_class():
     from repro import JoinSession  # noqa: F401 — the documented entry point
 
