@@ -539,6 +539,81 @@ def bench_adaptive_session(
     return timed / best_off, timed / best_on, decisions
 
 
+def bench_service(
+    num_inputs: int,
+    a_domain: int,
+    rate: float,
+    window: float,
+    queue_depth: int,
+    seed: int,
+):
+    """Sustained push throughput through the bounded service ingress.
+
+    A two-way join fed over loopback TCP through ``ServiceClient`` —
+    fire-and-forget pushes gated only by the server's credit frames, so
+    the measured rate is what the bounded ingress queue actually
+    sustains.  Latency is sampled end-to-end through the drain: control
+    operations ride the same ingress queue as pushes, so a ``stats``
+    round trip at stream position *i* measures the time for everything
+    enqueued before it to drain into the session plus the reply — the
+    ingress latency a caller reading their own writes would observe.
+    ~200 samples are taken across the run; the p99 of those is the SLO
+    headline next to the ops/s number.
+
+    Returns ``(ops_per_s, p50_latency_s, p99_latency_s, pauses,
+    queue_high_water)``.
+    """
+    import asyncio
+
+    from repro import JoinServer, JoinSession, ServiceClient
+
+    rng = random.Random(seed)
+    feed = []
+    t = 0.0
+    for i in range(num_inputs):
+        t += rng.random() * (2.0 / rate)
+        rel = "RS"[i % 2]
+        feed.append((rel, {"a": rng.randrange(a_domain)}, t))
+    sample_every = max(1, num_inputs // 200)
+
+    async def run():
+        session = JoinSession(window=window, record_streams=False).add_query(
+            "q", "R.a=S.a"
+        )
+        latencies = []
+        async with JoinServer(session, queue_depth=queue_depth) as server:
+            client = await ServiceClient.connect(*server.address)
+            async with client:
+                # warm: the first plan build stays out of the timed region
+                await client.push(*feed[0])
+                await client.flush()
+                start = time.perf_counter()
+                for i, item in enumerate(feed[1:], 1):
+                    await client.push(*item)
+                    if i % sample_every == 0:
+                        t0 = time.perf_counter()
+                        await client.stats()
+                        latencies.append(time.perf_counter() - t0)
+                reply = await client.flush()
+                elapsed = time.perf_counter() - start
+            if reply["pushed"] != num_inputs:
+                raise SystemExit(
+                    f"service bench lost tuples: pushed {reply['pushed']} "
+                    f"of {num_inputs}"
+                )
+        latencies.sort()
+        ops = (num_inputs - 1) / elapsed
+        p50 = latencies[len(latencies) // 2] if latencies else 0.0
+        p99 = (
+            latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+            if latencies
+            else 0.0
+        )
+        return ops, p50, p99, server.pauses_sent, server.queue_high_water
+
+    return asyncio.run(run())
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tuples", type=int, default=60_000)
@@ -623,6 +698,29 @@ def main() -> None:
         "this fraction of steady-state session throughput (CI gate that "
         "the adaptivity loop's bookkeeping stays cheap; 0.10 = 10%%)",
     )
+    #: service scenario: sustained push throughput over loopback TCP through
+    #: the bounded JoinServer ingress, with drain-latency sampling (see
+    #: bench_service); opt-in via --service-only / --min-service-ops
+    parser.add_argument("--service-tuples", type=int, default=8_000)
+    parser.add_argument("--service-a-domain", type=int, default=200)
+    parser.add_argument("--service-rate", type=float, default=1000.0)
+    parser.add_argument("--service-window", type=float, default=4.0)
+    parser.add_argument("--service-queue-depth", type=int, default=256)
+    parser.add_argument(
+        "--min-service-ops",
+        type=float,
+        default=None,
+        help="exit nonzero if the service scenario's sustained push "
+        "throughput (ops/s over TCP through the bounded ingress) falls "
+        "below this rate (CI regression gate; implies running the "
+        "service scenario)",
+    )
+    parser.add_argument(
+        "--service-only",
+        action="store_true",
+        help="run only the service scenario (what the CI service-smoke "
+        "job uses); --json-out then writes just the service block",
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -674,6 +772,70 @@ def main() -> None:
         for name in ("shard_inputs", "shard_a_domain", "shard_b_domain"):
             if getattr(args, name) <= 0:
                 parser.error(f"--{name.replace('_', '-')} must be positive")
+    run_service = args.service_only or args.min_service_ops is not None
+    if run_service:
+        for name in ("service_tuples", "service_a_domain"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name.replace('_', '-')} must be positive")
+        if args.service_queue_depth < 1:
+            parser.error("--service-queue-depth must be >= 1")
+
+    def run_service_scenario():
+        ops, p50, p99, pauses, high_water = bench_service(
+            args.service_tuples,
+            args.service_a_domain,
+            args.service_rate,
+            args.service_window,
+            args.service_queue_depth,
+            args.seed + 7,
+        )
+        print(
+            f"service ingress:         {ops:,.0f} pushes/s over TCP "
+            f"(drain latency p50 {p50 * 1e3:.1f}ms / p99 {p99 * 1e3:.1f}ms, "
+            f"{pauses} pauses, queue high water {high_water}/"
+            f"{args.service_queue_depth}, {args.service_tuples} tuples)"
+        )
+        return {
+            "ops_per_s": ops,
+            "p50_latency_s": p50,
+            "p99_latency_s": p99,
+            "pauses": pauses,
+            "queue_high_water": high_water,
+            "queue_depth": args.service_queue_depth,
+            "tuples": args.service_tuples,
+        }
+
+    def check_service_gate(service):
+        if args.min_service_ops is None:
+            return
+        if service["ops_per_s"] < args.min_service_ops:
+            raise SystemExit(
+                f"REGRESSION: service push throughput "
+                f"{service['ops_per_s']:,.0f} ops/s below required "
+                f"{args.min_service_ops:,.0f} ops/s"
+            )
+        print(
+            f"service gate: {service['ops_per_s']:,.0f} ops/s >= "
+            f"{args.min_service_ops:,.0f} ops/s OK "
+            f"(p99 {service['p99_latency_s'] * 1e3:.1f}ms)"
+        )
+
+    if args.service_only:
+        service = run_service_scenario()
+        if args.json_out is not None:
+            payload = {
+                "schema_version": 6,
+                "service": service,
+                "python": sys.version.split()[0],
+                "numpy": np.__version__,
+                "platform": platform.platform(),
+            }
+            with open(args.json_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json_out}")
+        check_service_gate(service)
+        return
     current_cls = BACKENDS[args.backend]
 
     tuples = make_tuples(args.tuples, args.domain, args.rate, args.seed)
@@ -794,6 +956,10 @@ def main() -> None:
         f"3-way chain)"
     )
 
+    service_result = None
+    if run_service:
+        service_result = run_service_scenario()
+
     shard_result = None
     if args.workers is not None:
         shard_args = (
@@ -825,7 +991,7 @@ def main() -> None:
 
     if args.json_out is not None:
         payload = {
-            "schema_version": 5,
+            "schema_version": 6,
             "backend": args.backend,
             "scenarios": {
                 name: {
@@ -853,6 +1019,7 @@ def main() -> None:
                 "decisions": adaptive_decisions,
             },
             "sharded": shard_result,
+            "service": service_result,
             "params": {
                 name: getattr(args, name)
                 for name in (
@@ -867,6 +1034,8 @@ def main() -> None:
                     "adaptive_window", "adaptive_epoch",
                     "workers", "shard_inputs", "shard_rate",
                     "shard_retention", "shard_a_domain", "shard_b_domain",
+                    "service_tuples", "service_a_domain", "service_rate",
+                    "service_window", "service_queue_depth",
                 )
             },
             "python": sys.version.split()[0],
@@ -923,6 +1092,9 @@ def main() -> None:
             f"adaptive gate: {adaptive_overhead:+.1%} <= "
             f"{args.max_adaptive_overhead:.0%} OK"
         )
+
+    if service_result is not None:
+        check_service_gate(service_result)
 
     if args.min_shard_speedup is not None:
         if shard_result["speedup"] < args.min_shard_speedup:

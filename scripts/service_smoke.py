@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Service smoke: crash a live server with SIGKILL, restore, check parity.
+
+The end-to-end drill the CI ``service-smoke`` job runs (and the sharpest
+form of the checkpoint contract, because the "crash" is a real
+``SIGKILL`` of a real process, not a dropped object):
+
+1. boot a child process serving a fresh ``JoinSession`` over TCP
+   (``--serve``), replay the first half of a generated workload through
+   ``ServiceClient``, and checkpoint over the wire;
+2. ``SIGKILL`` the child — no atexit, no flush, nothing graceful;
+3. boot a second child that *restores* the session from the snapshot
+   (``--serve --restore``), replay the second half, and collect results,
+   metrics, and the built-in oracle verdict;
+4. replay the whole workload into an in-process, uninterrupted session
+   and assert exact parity: same results in the same order, same
+   headline metric summary, ``verify().ok`` on both sides.
+
+Also measures sustained push throughput of phase 3 and writes it (plus
+the bench-schema-v6 ``service`` block layout) to ``--json-out``.
+
+Usage: ``PYTHONPATH=src python scripts/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+from repro import JoinServer, JoinSession, ServiceClient  # noqa: E402
+
+WINDOW = 3.0
+QUEUE_DEPTH = 64
+
+
+def build_session() -> JoinSession:
+    return JoinSession(window=WINDOW).add_query("q1", "R.a=S.a", "S.b=T.b")
+
+
+def make_feed(num_inputs: int):
+    """Deterministic 3-stream workload (no RNG: reproducible across runs)."""
+    feed = []
+    for i in range(num_inputs):
+        ts = i * 0.1
+        feed.append(("R", {"a": i % 7}, ts))
+        feed.append(("S", {"a": i % 7, "b": i % 5}, ts + 0.01))
+        feed.append(("T", {"b": i % 5}, ts + 0.02))
+    return feed
+
+
+def serve(port: int, snapshot: str, restore: bool) -> None:
+    """Child mode: serve a fresh or restored session until killed."""
+    session = JoinSession.restore(snapshot) if restore else build_session()
+
+    async def run() -> None:
+        async with JoinServer(session, port=port, queue_depth=QUEUE_DEPTH):
+            print("READY", flush=True)
+            await asyncio.Event().wait()  # until SIGKILL / SIGTERM
+
+    asyncio.run(run())
+
+
+def spawn_server(port: int, snapshot: str, restore: bool) -> subprocess.Popen:
+    argv = [sys.executable, os.path.abspath(__file__), "--serve",
+            "--port", str(port), "--snapshot", snapshot]
+    if restore:
+        argv.append("--restore")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(argv, env=env, stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline().strip()
+    if line != "READY":
+        raise SystemExit(f"server child failed to start (got {line!r})")
+    return proc
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+async def replay_phase(port: int, items, *, checkpoint: str = None):
+    """Push ``items`` through TCP; optionally checkpoint at the end.
+
+    Returns ``(elapsed_s, results_reply, stats_reply)``.
+    """
+    client = await ServiceClient.connect("127.0.0.1", port)
+    async with client:
+        start = time.perf_counter()
+        await client.push_batch(items)
+        elapsed = time.perf_counter() - start
+        if checkpoint is not None:
+            await client.checkpoint(checkpoint)
+        await client.flush()
+        results = await client.results("q1")
+        stats = await client.stats()
+    return elapsed, results, stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--inputs", type=int, default=200,
+                        help="workload size in per-stream steps (x3 tuples)")
+    parser.add_argument("--json-out", type=str, default=None,
+                        help="write the throughput/parity report as JSON")
+    parser.add_argument("--serve", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--port", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--snapshot", type=str, default="", help=argparse.SUPPRESS)
+    parser.add_argument("--restore", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.serve:
+        serve(args.port, args.snapshot, args.restore)
+        return
+
+    feed = make_feed(args.inputs)
+    half = len(feed) // 2
+    snapshot = os.path.abspath("service-smoke.snap")
+
+    # phase 1: serve fresh, replay the first half, checkpoint over the wire
+    port = free_port()
+    child = spawn_server(port, snapshot, restore=False)
+    try:
+        asyncio.run(replay_phase(port, feed[:half], checkpoint=snapshot))
+    finally:
+        # phase 2: the crash — SIGKILL, the child gets no chance to clean up
+        child.kill() if os.name == "nt" else os.kill(child.pid, signal.SIGKILL)
+        child.wait()
+
+    # phase 3: restore into a fresh process, finish the feed
+    port = free_port()
+    child = spawn_server(port, snapshot, restore=True)
+    try:
+        elapsed, results, stats = asyncio.run(replay_phase(port, feed[half:]))
+    finally:
+        child.terminate()
+        child.wait()
+
+    # phase 4: the uninterrupted oracle run, in-process
+    baseline = build_session()
+    for relation, values, ts in feed:
+        baseline.push(relation, values, ts)
+    baseline.flush()
+    want = [
+        {"timestamps": dict(r.timestamps), "values": dict(r.values)}
+        for r in baseline.results("q1")
+    ]
+    if results["results"] != want:
+        raise SystemExit(
+            f"PARITY FAILURE: restored run produced {results['count']} "
+            f"results vs {len(want)} uninterrupted (or different order)"
+        )
+    if stats["summary"] != baseline.metrics.summary():
+        raise SystemExit(
+            "PARITY FAILURE: metric summaries diverged\n"
+            f"  restored:      {stats['summary']}\n"
+            f"  uninterrupted: {baseline.metrics.summary()}"
+        )
+    if not baseline.verify().ok:
+        raise SystemExit("PARITY FAILURE: oracle rejected the baseline run")
+    restored_check = JoinSession.restore(snapshot)
+    for relation, values, ts in feed[half:]:
+        restored_check.push(relation, values, ts)
+    if not restored_check.verify().ok:
+        raise SystemExit("PARITY FAILURE: oracle rejected the restored run")
+    os.unlink(snapshot)
+
+    pushed = len(feed) - half
+    ops = pushed / elapsed if elapsed > 0 else 0.0
+    print(
+        f"service smoke OK: {results['count']} results, "
+        f"{stats['pushed']} tuples through a SIGKILL + restore, "
+        f"{ops:,.0f} pushes/s post-restore"
+    )
+    if args.json_out is not None:
+        payload = {
+            "schema_version": 6,
+            "service_smoke": {
+                "inputs": len(feed),
+                "results": results["count"],
+                "post_restore_ops_per_s": ops,
+                "queue_depth": QUEUE_DEPTH,
+                "parity": "ok",
+            },
+        }
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
+
+if __name__ == "__main__":
+    main()

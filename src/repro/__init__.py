@@ -32,6 +32,9 @@ wiring keeps working — see the migration table in ``docs/api.md``):
   comparison strategies.
 * :mod:`repro.streams` — TPC-H-shaped streams, random ILP workloads, and
   push adapters feeding sessions.
+* :mod:`repro.service` — the production service surface: an asyncio TCP
+  ingress with bounded-queue backpressure and versioned session
+  checkpoint/restore (``docs/service.md``).
 * :mod:`repro.experiments` — drivers regenerating every figure of the paper.
 """
 
@@ -72,6 +75,7 @@ from .session import (
     UnknownRelationError,
     VerificationReport,
 )
+from .service import JoinServer, ServiceClient, SnapshotError
 
 __version__ = "1.1.0"
 
@@ -89,6 +93,10 @@ __all__ = [
     "LateTupleError",
     "EngineFailedError",
     "CrossProductError",
+    # service surface (async ingress + checkpoint/restore)
+    "JoinServer",
+    "ServiceClient",
+    "SnapshotError",
     # query model & statistics
     "Attribute",
     "JoinPredicate",

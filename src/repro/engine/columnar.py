@@ -41,8 +41,10 @@ oblivious to the backend.
 
 from __future__ import annotations
 
+import io
 from math import isinf
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterator,
@@ -67,6 +69,19 @@ __all__ = ["ColumnarContainer", "ColumnBucket", "VectorBatch", "MIN_CAPACITY"]
 #: smallest per-bucket array allocation; doubles as the growth quantum for
 #: tiny buckets so chunked growth never degenerates into per-insert resizes
 MIN_CAPACITY = 64
+
+
+def _array_bytes(arr: npt.NDArray[Any]) -> bytes:
+    """Serialize an array to raw ``.npy`` bytes (``np.save`` format)."""
+    buf = io.BytesIO()
+    np.save(buf, arr, allow_pickle=False)
+    return buf.getvalue()
+
+
+def _array_from(data: bytes) -> npt.NDArray[Any]:
+    """Inverse of :func:`_array_bytes`."""
+    out: npt.NDArray[Any] = np.load(io.BytesIO(data), allow_pickle=False)
+    return out
 
 
 class VectorBatch:
@@ -400,6 +415,84 @@ class ColumnarContainer:
                     del self._buckets[boundary]
         self._count -= evicted
         return freed
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Structural snapshot of the container (checkpoint support).
+
+        Column arrays are serialized as raw ``.npy`` buffers
+        (:func:`numpy.save` with ``allow_pickle=False``), sliced to their
+        live ``size`` — over-allocated capacity is not persisted.  The
+        value-code interning tables, active column lists, and
+        ``column_builds`` all survive, so a restored container probes with
+        byte-identical code comparisons, ``checked`` counts, and result
+        order.
+        """
+        buckets: Dict[int, Dict[str, Any]] = {}
+        for bucket_id, bucket in self._buckets.items():
+            size = bucket.size
+            buckets[bucket_id] = {
+                "rows": list(bucket.rows),
+                "size": size,
+                "latest": _array_bytes(bucket.latest[:size]),
+                "earliest": _array_bytes(bucket.earliest[:size]),
+                "seq": _array_bytes(bucket.seq[:size]),
+                "width": _array_bytes(bucket.width[:size]),
+                "codes": {
+                    attr: _array_bytes(col[:size])
+                    for attr, col in bucket.codes.items()
+                },
+                "rel_ts": {
+                    rel: _array_bytes(col[:size])
+                    for rel, col in bucket.rel_ts.items()
+                },
+            }
+        return {
+            "backend": "columnar",
+            "bucket_width": self._bucket_width,
+            "buckets": buckets,
+            "value_codes": {
+                attr: dict(table) for attr, table in self._value_codes.items()
+            },
+            "active_attrs": list(self._active_attrs),
+            "active_rels": list(self._active_rels),
+            "count": self._count,
+            "column_builds": self.column_builds,
+        }
+
+    @classmethod
+    def load_state(cls, state: Mapping[str, Any]) -> "ColumnarContainer":
+        """Rebuild a container from :meth:`dump_state` output."""
+        cont = cls(bucket_width=state["bucket_width"])
+        cont._value_codes = {
+            intern_attr(attr): dict(table)
+            for attr, table in state["value_codes"].items()
+        }
+        cont._active_attrs = [intern_attr(a) for a in state["active_attrs"]]
+        cont._active_rels = list(state["active_rels"])
+        cont.column_builds = int(state["column_builds"])
+        for bucket_id, bstate in state["buckets"].items():
+            size = int(bstate["size"])
+            bucket = ColumnBucket(capacity=max(MIN_CAPACITY, size))
+            bucket.rows = list(bstate["rows"])
+            bucket.size = size
+            bucket.latest[:size] = _array_from(bstate["latest"])
+            bucket.earliest[:size] = _array_from(bstate["earliest"])
+            bucket.seq[:size] = _array_from(bstate["seq"])
+            bucket.width[:size] = _array_from(bstate["width"])
+            for attr, data in bstate["codes"].items():
+                col = np.empty(bucket.capacity, dtype=np.int64)
+                col[:size] = _array_from(data)
+                bucket.codes[intern_attr(attr)] = col
+            for rel, data in bstate["rel_ts"].items():
+                rcol = np.full(bucket.capacity, np.nan, dtype=np.float64)
+                rcol[:size] = _array_from(data)
+                bucket.rel_ts[rel] = rcol
+            cont._buckets[int(bucket_id)] = bucket
+        cont._count = int(state["count"])
+        return cont
 
     # ------------------------------------------------------------------
     # vectorized probing

@@ -51,6 +51,24 @@ class EngineMetrics:
     #: stragglers discarded by the session's ``on_late="drop"`` policy
     #: (never counted in ``inputs_ingested`` — they were not processed)
     late_dropped: int = 0
+    #: stragglers beyond ``disorder_bound + allowed_lateness`` routed to the
+    #: session's subscribable dead-letter side-output instead of being
+    #: dropped or raising (``on_late="dead_letter"``)
+    dead_lettered: int = 0
+    #: stragglers that arrived later than the declared ``disorder_bound``
+    #: but inside the ``allowed_lateness`` grace and were still joined
+    #: (the eviction watermark is held back by the grace to keep their
+    #: partners alive)
+    late_admitted: int = 0
+    #: PAUSE signals the service ingress emitted to its clients because the
+    #: bounded ingress queue crossed its high watermark
+    backpressure_events: int = 0
+    #: deepest bounded-ingress-queue depth the service front ever observed
+    #: (never exceeds the configured queue depth — backpressure is real)
+    ingress_queue_high_water: int = 0
+    #: live stored tuples reloaded into store containers by a
+    #: checkpoint restore (0 on uninterrupted runs)
+    restored_tuples: int = 0
     #: concrete container backend per store task, tallied by name — with
     #: ``store_backend="auto"`` this surfaces the per-task decisions, fixed
     #: configurations tally to a single entry (refreshed at every install)
@@ -125,6 +143,31 @@ class EngineMetrics:
         (enforced by the MET001 analyzer rule).
         """
         self.late_dropped += count
+
+    def on_dead_letter(self, count: int = 1) -> None:
+        """``count`` stragglers were routed to the dead-letter side-output
+        (``on_late="dead_letter"``; a batch > 1 only when a session folds
+        in tuples dead-lettered during warmup).  Like :meth:`on_late_drop`,
+        this is the session's MET001-clean mutation path."""
+        self.dead_lettered += count
+
+    def on_late_admit(self, count: int = 1) -> None:
+        """``count`` stragglers exceeded the declared ``disorder_bound``
+        but fell inside the ``allowed_lateness`` grace and were joined."""
+        self.late_admitted += count
+
+    def on_backpressure(self) -> None:
+        """The service ingress paused its clients (queue high watermark)."""
+        self.backpressure_events += 1
+
+    def on_ingress_depth(self, depth: int) -> None:
+        """Track the deepest observed bounded-ingress-queue depth."""
+        if depth > self.ingress_queue_high_water:
+            self.ingress_queue_high_water = depth
+
+    def on_restore(self, tuples: int) -> None:
+        """A checkpoint restore reloaded ``tuples`` live stored tuples."""
+        self.restored_tuples += tuples
 
     def on_failure(self, reason: str) -> None:
         self.failed = True

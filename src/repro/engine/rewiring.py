@@ -33,7 +33,7 @@ exact across a rewire.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.adaptive import TopologyDiff, diff_topologies
 from ..core.probe_order import maintenance_query
@@ -116,6 +116,26 @@ class RewirableRuntime(TopologyRuntime):
         self._rule_archive: Dict[Tuple[str, str], List[Rule]] = {}
         self._store_archive: Dict[str, StoreSpec] = dict(topology.stores)
         self._archive_rules(topology)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Runtime snapshot plus the rewire history (checkpoint support).
+
+        Archives are *not* persisted: a restored runtime is constructed
+        from the snapshot's installed topology, so its archives already
+        describe every live edge/rule/store, and in-flight messages (the
+        only consumers of stale archive entries, timed mode) cannot exist
+        across a logical-mode snapshot boundary.
+        """
+        state = super().dump_state()
+        state["switches"] = list(self.switches)
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        self.switches = list(state.get("switches", []))
 
     # ------------------------------------------------------------------
     # reconfiguration

@@ -317,6 +317,7 @@ class TopologyRuntime:
         self._group: List[StreamTuple] = []
         self._group_rel: Optional[str] = None
         self._last_ts = float("-inf")
+        self._closed = False
         self._install_stores(topology)
         self._publish_backend_choices()
 
@@ -410,6 +411,94 @@ class TopologyRuntime:
         return sum(
             task.stored_tuples() for tasks in self.tasks.values() for task in tasks
         )
+
+    def close(self) -> None:
+        """Flush deferred work and mark the runtime closed (idempotent).
+
+        The single-process runtime holds no external resources, but the
+        session facade and the service shutdown path treat every runtime
+        uniformly — ``flush(); close()`` — so this mirrors
+        :meth:`~repro.engine.sharding.ShardedRuntime.close` (which *does*
+        terminate a worker pool).  Safe to call any number of times.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self.metrics.failed:
+            self.flush()
+
+    def __enter__(self) -> "TopologyRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_tasks(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Structural snapshot of every store task (per store id)."""
+        return {
+            store_id: [task.dump_state() for task in tasks]
+            for store_id, tasks in self.tasks.items()
+        }
+
+    def load_tasks(self, state: Dict[str, List[Dict[str, Any]]]) -> int:
+        """Replace all store tasks from a :meth:`dump_tasks` snapshot.
+
+        Returns the number of live stored tuples reloaded (the caller
+        records it through :meth:`EngineMetrics.on_restore`).
+        """
+        self.tasks = {
+            store_id: [StoreTask.from_state(t) for t in task_states]
+            for store_id, task_states in state.items()
+        }
+        self._publish_backend_choices()
+        return self.stored_tuples_total()
+
+    def dump_state(self) -> Dict[str, Any]:
+        """Full runtime snapshot: store state plus the push-driver counters.
+
+        Deferred micro-batches are flushed first, so the snapshot contains
+        no half-processed cascades; the snapshot shares the live metrics
+        object and tuple references by design — callers serialize it (one
+        pickle preserves the cross-references) before processing resumes.
+        """
+        self.flush()
+        return {
+            "kind": "single",
+            "tasks": self.dump_tasks(),
+            "arrival_seq": self._arrival_seq,
+            "stream_high": dict(self._stream_high),
+            "last_ts": self._last_ts,
+            "epoch": self._epoch,
+            "ops_since_evict": self._ops_since_evict,
+            "outputs": {q: list(r) for q, r in self.outputs.items()},
+            "metrics": self.metrics,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a freshly constructed runtime from :meth:`dump_state`.
+
+        The runtime must have been built with the *same* topology, windows,
+        and configuration the snapshot was taken under; counters, eviction
+        cadence, and store structure resume exactly, so the continuation is
+        bit-for-bit identical to an uninterrupted run.
+        """
+        if state.get("kind") != "single":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} does not fit a "
+                "single-process runtime"
+            )
+        self.metrics = state["metrics"]
+        restored = self.load_tasks(state["tasks"])
+        self._arrival_seq = int(state["arrival_seq"])
+        self._stream_high = dict(state["stream_high"])
+        self._last_ts = state["last_ts"]
+        self._epoch = int(state["epoch"])
+        self._ops_since_evict = int(state["ops_since_evict"])
+        self.outputs = {q: list(r) for q, r in state["outputs"].items()}
+        self.metrics.on_restore(restored)
 
     # ------------------------------------------------------------------
     # logical mode (push driver)

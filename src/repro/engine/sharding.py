@@ -525,6 +525,46 @@ class _WorkerState:
             self.router = router
             self._build(topology, windows, highs, state)
             return ("reset",)
+        if cmd == "snapshot":
+            # structural per-task dump (checkpoint): unlike "dump", store
+            # *structure* (buckets, hash-index candidate order, columnar
+            # code tables) and the push-driver counters survive, so a
+            # restored worker continues bit-for-bit
+            runtime = self.runtime
+            runtime.flush()
+            return (
+                "snapshot",
+                {
+                    "tasks": runtime.dump_tasks(),
+                    "arrival_seq": runtime._arrival_seq,
+                    "stream_high": dict(runtime._stream_high),
+                    "last_ts": runtime._last_ts,
+                    "epoch": runtime._epoch,
+                    "ops_since_evict": runtime._ops_since_evict,
+                    "stored_units": runtime.metrics.stored_units,
+                    "peak_stored_units": runtime.metrics.peak_stored_units,
+                },
+            )
+        if cmd == "restore":
+            _, topology, windows, shard_state, router = msg
+            self.router = router
+            self.stats = EpochStatistics(epoch=0)
+            runtime = _ShardWorkerRuntime(
+                topology, windows, self.config, self.shard, router.partitioned
+            )
+            restored = runtime.load_tasks(shard_state["tasks"])
+            runtime._arrival_seq = int(shard_state["arrival_seq"])
+            runtime._stream_high = dict(shard_state["stream_high"])
+            runtime._last_ts = shard_state["last_ts"]
+            runtime._epoch = int(shard_state["epoch"])
+            runtime._ops_since_evict = int(shard_state["ops_since_evict"])
+            # restored stored state is a level, not flow (same convention
+            # as _build's migration accounting); flow counters restart at
+            # zero and the driver banks the checkpoint totals
+            runtime.metrics.stored_units = shard_state["stored_units"]
+            runtime.metrics.peak_stored_units = shard_state["peak_stored_units"]
+            self.runtime = runtime
+            return ("restored", restored)
         if cmd == "crash_after":
             if os.environ.get(TEST_HOOK_ENV) != "1":
                 raise RuntimeError(
@@ -1055,6 +1095,88 @@ class ShardedRuntime:
         self._flow_base["migrated_tuples"] += migrated
         self._refresh_counters()
         return preserved
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Full driver snapshot: per-shard structural state plus the
+        driver-owned arrival contract, outputs, and aggregate metrics.
+
+        Every worker dumps its shard *structurally* (bucket layout, hash
+        index candidate order, columnar code tables, eviction cadence), so
+        a restore is bit-for-bit — same results, same order, same flow
+        counters — as an uninterrupted run.  The runtime flushes first;
+        snapshots never contain un-merged emissions.
+        """
+        self.flush()
+        if self.metrics.failed:
+            raise ShardFailedError(
+                f"cannot snapshot a failed sharded runtime "
+                f"({self.metrics.failure_reason})"
+            )
+        replies = self._broadcast_collect(("snapshot",))
+        return {
+            "kind": "sharded",
+            "workers": self.num_shards,
+            "router_class": self.router.class_key,
+            "shards": [reply[1] for reply in replies],
+            "arrival_seq": self._arrival_seq,
+            "stream_high": dict(self._stream_high),
+            "last_ts": self._last_ts,
+            "outputs": {q: list(r) for q, r in self.outputs.items()},
+            "metrics": self.metrics,
+            "switches": list(self.switches),
+            "stored": list(self._stored),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a freshly constructed driver from :meth:`dump_state`.
+
+        The driver must have been built with the same topology, windows,
+        and configuration (including ``workers``) the snapshot was taken
+        under.  Each worker is reset from its own shard's structural dump;
+        the sticky partition class is re-preferred, so routing matches the
+        stored placement exactly.
+        """
+        if state.get("kind") != "sharded":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} does not fit a "
+                "sharded runtime"
+            )
+        if int(state["workers"]) != self.num_shards:
+            raise ValueError(
+                f"snapshot was taken with workers={state['workers']}, "
+                f"this runtime has workers={self.num_shards}"
+            )
+        router = ShardRouter.from_topology(
+            self.topology, self.config.workers,
+            prefer_class=state["router_class"],
+        )
+        for idx in range(self.num_shards):
+            self._send(
+                idx,
+                (
+                    "restore", self.topology, dict(self.windows),
+                    state["shards"][idx], router,
+                ),
+            )
+        replies = self._collect_all()
+        self.router = router
+        self._arrival_seq = int(state["arrival_seq"])
+        self._stream_high = dict(state["stream_high"])
+        self._last_ts = state["last_ts"]
+        self.outputs = {q: list(r) for q, r in state["outputs"].items()}
+        self.metrics = state["metrics"]
+        self.switches = list(state["switches"])
+        self._stored = list(state["stored"])
+        # reset workers restart with fresh flow counters: bank the
+        # checkpoint-time aggregates so _refresh_counters resumes exactly
+        # (the same convention _reshard uses for its worker restarts)
+        for name in _FLOW_FIELDS:
+            self._flow_base[name] = int(getattr(self.metrics, name))
+        self._worker_flow = [{} for _ in range(self.num_shards)]
+        self.metrics.on_restore(sum(int(reply[1]) for reply in replies))
 
     # ------------------------------------------------------------------
     # fault-injection hook (tests only; see TEST_HOOK_ENV)

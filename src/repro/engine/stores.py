@@ -28,11 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import isinf
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -48,6 +50,7 @@ __all__ = [
     "STORE_BACKENDS",
     "StoreBackend",
     "StoreTask",
+    "load_container",
     "make_backend",
     "probe_container",
     "probe_batch",
@@ -92,6 +95,8 @@ class StoreBackend(Protocol):
     def evict_older_than(self, horizon: float) -> int: ...
 
     def __len__(self) -> int: ...
+
+    def dump_state(self) -> Dict[str, Any]: ...
 
 
 def check_backend_name(name: str) -> str:
@@ -281,6 +286,50 @@ class Container:
             self._unindex(evicted)
         return sum(t.width for t in evicted)
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Structural snapshot of the container (checkpoint support).
+
+        The dump is *structural*, not a tuple list: buckets, the pending
+        ``_recent`` list, and every hash index's candidate-list order are
+        captured verbatim, so a restored container probes candidates in
+        exactly the original order — result order and ``checked`` counts
+        are bit-for-bit identical after :meth:`load_state`.  Tuples are
+        shared by reference between buckets and index entries; a single
+        pickle of the dump preserves that identity (``_unindex`` relies
+        on it).
+        """
+        return {
+            "backend": "python",
+            "bucket_width": self._bucket_width,
+            "buckets": {bid: list(tups) for bid, tups in self._buckets.items()},
+            "recent": list(self._recent),
+            "indexes": {
+                attr: {value: list(entries) for value, entries in index.items()}
+                for attr, index in self.indexes.items()
+            },
+            "count": self._count,
+            "index_rebuilds": self.index_rebuilds,
+        }
+
+    @classmethod
+    def load_state(cls, state: Mapping[str, Any]) -> "Container":
+        """Rebuild a container from :meth:`dump_state` output."""
+        cont = cls(bucket_width=state["bucket_width"])
+        cont._buckets = {
+            int(bid): list(tups) for bid, tups in state["buckets"].items()
+        }
+        cont._recent = list(state["recent"])
+        cont.indexes = {
+            attr: {value: list(entries) for value, entries in index.items()}
+            for attr, index in state["indexes"].items()
+        }
+        cont._count = int(state["count"])
+        cont.index_rebuilds = int(state["index_rebuilds"])
+        return cont
+
     def _unindex(self, evicted: Sequence[StreamTuple]) -> None:
         """Remove exactly ``evicted`` from every maintained index, in place."""
         if not self.indexes:
@@ -313,6 +362,22 @@ STORE_BACKENDS: Dict[str, Callable[..., "StoreBackend"]] = {
     "python": Container,
     "columnar": ColumnarContainer,
 }
+
+def load_container(state: Mapping[str, Any]) -> "StoreBackend":
+    """Rebuild a container from a ``dump_state`` snapshot (any backend).
+
+    The snapshot's ``"backend"`` tag selects the implementation; each
+    backend's ``load_state`` reconstructs its own structural dump exactly
+    (see :meth:`Container.dump_state` /
+    :meth:`~repro.engine.columnar.ColumnarContainer.dump_state`).
+    """
+    backend = state.get("backend")
+    if backend == "python":
+        return Container.load_state(state)
+    if backend == "columnar":
+        return ColumnarContainer.load_state(state)
+    raise ValueError(f"unknown container snapshot backend {backend!r}")
+
 
 #: ``store_backend="auto"`` switches a task to the columnar backend once its
 #: live state is at least this many tuples — below it, numpy per-bucket
@@ -431,6 +496,55 @@ class StoreTask:
 
     def stored_tuples(self) -> int:
         return sum(len(c) for c in self.containers.values())
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Snapshot of the task: configuration plus per-epoch containers."""
+        return {
+            "store_id": self.store_id,
+            "task_index": self.task_index,
+            "retention": self.retention,
+            "next_free": self.next_free,
+            "backend": self.backend,
+            "resolved_backend": self.resolved_backend,
+            "probes_seen": self.probes_seen,
+            "evicted_through": self.evicted_through,
+            "auto_width_threshold": self.auto_width_threshold,
+            "auto_probe_threshold": self.auto_probe_threshold,
+            "containers": {
+                epoch: cont.dump_state()
+                for epoch, cont in self.containers.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "StoreTask":
+        """Rebuild a task from :meth:`dump_state` output (exact restore).
+
+        ``probes_seen``/``resolved_backend`` survive, so the
+        ``store_backend="auto"`` heuristic resumes mid-decision, and
+        ``evicted_through`` survives, so window-growth safety checks keep
+        their history after a restore.
+        """
+        task = cls(
+            store_id=state["store_id"],
+            task_index=int(state["task_index"]),
+            retention=state["retention"],
+            next_free=state["next_free"],
+            backend=state["backend"],
+            resolved_backend=state["resolved_backend"],
+            probes_seen=int(state["probes_seen"]),
+            evicted_through=state["evicted_through"],
+            auto_width_threshold=int(state["auto_width_threshold"]),
+            auto_probe_threshold=int(state["auto_probe_threshold"]),
+        )
+        task.containers = {
+            int(epoch): load_container(cont_state)
+            for epoch, cont_state in state["containers"].items()
+        }
+        return task
 
 
 def orient_predicates(

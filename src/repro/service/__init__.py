@@ -1,0 +1,38 @@
+"""Production service surface over :class:`~repro.session.JoinSession`.
+
+Three cooperating pieces (docs/service.md):
+
+* :mod:`~repro.service.server` — an asyncio ingestion front
+  (:class:`JoinServer`) speaking a newline-delimited JSON TCP protocol
+  plus an in-process async API, with a *bounded* ingress queue whose
+  depth drives explicit credit-based backpressure (``PAUSE`` / ``RESUME``
+  frames); :class:`ServiceClient` is the matching async client.
+* :mod:`~repro.service.snapshot` — versioned checkpoint files behind
+  :meth:`JoinSession.checkpoint` / :meth:`JoinSession.restore`.
+* The session's lateness ladder (``allowed_lateness`` +
+  ``on_late="dead_letter"``) lives in :mod:`repro.session`; the server
+  simply exposes it over the wire.
+"""
+
+from .server import JoinServer, ServiceClient
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    checkpoint,
+    read_snapshot,
+    restore,
+    write_snapshot,
+)
+
+__all__ = [
+    "JoinServer",
+    "ServiceClient",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "checkpoint",
+    "read_snapshot",
+    "restore",
+    "write_snapshot",
+]

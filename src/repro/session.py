@@ -52,8 +52,20 @@ the underlying :class:`~repro.core.query.Query` constructor.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .core.adaptive import AdaptiveController, DecisionRecord, plan_signature
 from .core.catalog import StatisticsCatalog
@@ -136,9 +148,10 @@ class EngineFailedError(SessionError):
 
 def _check_on_late(policy: str) -> str:
     """Validate a late-tuple policy name (session default or per-push)."""
-    if policy not in ("raise", "drop"):
+    if policy not in ("raise", "drop", "dead_letter"):
         raise ValueError(
-            f"unknown late-tuple policy {policy!r}; expected 'raise' or 'drop'"
+            f"unknown late-tuple policy {policy!r}; expected 'raise', "
+            f"'drop', or 'dead_letter'"
         )
     return policy
 
@@ -246,13 +259,24 @@ class JoinSession:
     disorder_bound:
         ``None`` requires timestamp-ordered pushes; a bound ``D`` switches
         to watermark mode (pushes may lag each stream's high water by ≤ D).
+    allowed_lateness:
+        Extra grace ``L`` on top of ``disorder_bound`` (watermark mode
+        only).  Tuples lagging their stream's high water by more than D but
+        at most D + L are *admitted late*: the eviction watermark is held
+        back by L so their join partners are still stored, and each one
+        counts in ``metrics.late_admitted``.  Tuples beyond D + L hit the
+        ``on_late`` policy.  Default 0 (no ladder; the D bound is strict).
     on_late:
-        Default policy for pushes that violate the arrival-order contract:
-        ``"raise"`` (the default) raises :class:`LateTupleError`,
-        ``"drop"`` silently discards the tuple and counts it in
-        ``metrics.late_dropped`` (the production-style dead-letter policy;
-        dropped tuples are invisible to results, statistics, and the
-        verification oracle).  Overridable per push.
+        Default policy for pushes that violate the arrival-order contract
+        (in watermark mode: lag their stream's high water by more than
+        ``disorder_bound + allowed_lateness``): ``"raise"`` (the default)
+        raises :class:`LateTupleError`; ``"drop"`` silently discards the
+        tuple and counts it in ``metrics.late_dropped``; ``"dead_letter"``
+        routes it to the subscribable side-output (:meth:`dead_letters` /
+        :meth:`on_dead_letter`) and counts it in
+        ``metrics.dead_lettered``.  Dropped and dead-lettered tuples are
+        invisible to results, statistics, and the verification oracle.
+        Overridable per push.
     store_backend:
         Container implementation behind every store task: ``"python"``
         (dict/hash-index), ``"columnar"`` (numpy-vectorized), or ``"auto"``
@@ -320,6 +344,7 @@ class JoinSession:
         default_rate: float = 10.0,
         default_selectivity: float = 0.01,
         disorder_bound: Optional[float] = None,
+        allowed_lateness: float = 0.0,
         on_late: str = "raise",
         store_backend: Optional[str] = None,
         workers: Optional[int] = None,
@@ -338,13 +363,35 @@ class JoinSession:
             raise ValueError("window must be positive")
         if reoptimize_every is not None and reoptimize_every <= 0:
             raise ValueError("reoptimize_every must be positive")
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        if allowed_lateness > 0 and disorder_bound is None:
+            raise ValueError(
+                "allowed_lateness extends watermark mode; pass "
+                "disorder_bound as well (ordered mode has no lateness to "
+                "grant)"
+            )
         self.window = float(window)
         self.solver = solver
         self.default_rate = float(default_rate)
         self.default_selectivity = float(default_selectivity)
         self.record_streams = record_streams
         self.warmup = int(warmup)
+        self.stats_window = int(stats_window)
+        self.allowed_lateness = float(allowed_lateness)
         self.on_late = _check_on_late(on_late)
+        # the engine enforces one combined bound: tuples lagging their
+        # stream's high water by more than D are *late* (classified by the
+        # session against ``disorder_bound``), those beyond D + L are
+        # *rejected* (raise / drop / dead-letter, per ``on_late``).  Holding
+        # the engine bound at D + L is exactly the eviction-watermark
+        # holdback: stores retain partners long enough to join every
+        # admitted straggler.
+        engine_bound = (
+            None
+            if disorder_bound is None
+            else float(disorder_bound) + self.allowed_lateness
+        )
         self._optimizer_config = optimizer_config or OptimizerConfig(
             cluster=ClusterConfig(default_parallelism=parallelism)
         )
@@ -356,10 +403,12 @@ class JoinSession:
                 )
             if (
                 disorder_bound is not None
-                and runtime_config.disorder_bound != disorder_bound
+                and runtime_config.disorder_bound != engine_bound
             ):
                 raise ValueError(
-                    "disorder_bound given both directly and via runtime_config"
+                    "disorder_bound given both directly and via "
+                    "runtime_config (with allowed_lateness the engine bound "
+                    "must equal disorder_bound + allowed_lateness)"
                 )
             if (
                 store_backend is not None
@@ -397,6 +446,11 @@ class JoinSession:
                     "runtime_config"
                 )
             self._runtime_config = runtime_config
+            self.disorder_bound = (
+                float(disorder_bound)
+                if disorder_bound is not None
+                else runtime_config.disorder_bound
+            )
         else:
             threshold_overrides = {}
             if auto_width_threshold is not None:
@@ -409,10 +463,13 @@ class JoinSession:
                 )
             self._runtime_config = RuntimeConfig(
                 mode="logical",
-                disorder_bound=disorder_bound,
+                disorder_bound=engine_bound,
                 store_backend=store_backend or "python",
                 workers=workers or 1,
                 **threshold_overrides,
+            )
+            self.disorder_bound = (
+                None if disorder_bound is None else float(disorder_bound)
             )
         if worker_transport not in ("process", "inline"):
             raise ValueError(
@@ -420,9 +477,17 @@ class JoinSession:
                 f"'process' or 'inline'"
             )
         self._worker_transport = worker_transport
-        #: stragglers dropped while the warmup buffer was still filling
-        #: (folded into ``metrics.late_dropped`` once the runtime exists)
+        #: stragglers dropped / dead-lettered / late-admitted while the
+        #: warmup buffer was still filling (folded into the corresponding
+        #: metrics counters once the runtime exists)
         self._warmup_late_dropped = 0
+        self._warmup_dead_lettered = 0
+        self._warmup_late_admitted = 0
+        #: beyond-lateness stragglers, in arrival order (``on_late=
+        #: "dead_letter"``); never recorded in the history, so the
+        #: verification oracle sees exactly the admitted tuples
+        self._dead_letters: List[StreamTuple] = []
+        self._dead_letter_listeners: List[Callable[[StreamTuple], None]] = []
 
         # query lifecycle
         self._queries: Dict[str, Query] = {}
@@ -627,7 +692,8 @@ class JoinSession:
         """Push one input tuple (unqualified attribute names) at event time
         ``ts``.  See :class:`UnknownRelationError` / :class:`LateTupleError`
         for the validation contract; ``on_late`` overrides the session's
-        late-tuple policy for this push (``"raise"`` or ``"drop"``)."""
+        late-tuple policy for this push (``"raise"``, ``"drop"``, or
+        ``"dead_letter"``)."""
         self._check_relation(relation)
         self._ingest(input_tuple(relation, float(ts), values), on_late)
         return self
@@ -688,7 +754,12 @@ class JoinSession:
                 if policy == "drop":
                     self._warmup_late_dropped += 1
                     return
+                if policy == "dead_letter":
+                    self._dead_letter(tup)
+                    return
                 raise
+            if self._is_late_admit(tup.trigger, ts):
+                self._warmup_late_admitted += 1
             self._track_order(tup.trigger, ts)
             self._loop.observe(tup)
             self._pending.append(tup)
@@ -722,8 +793,16 @@ class JoinSession:
                     if policy == "drop":
                         metrics.on_late_drop()
                         return
+                    if policy == "dead_letter":
+                        self._dead_letter(tup)
+                        return
                     raise
                 loop.advance(ts)
+            # classify *before* processing: _record raises this stream's
+            # high water, which would hide the lag (a straggler's ts never
+            # raises the high water, so either order is correct for the
+            # rejected paths — only the admitted-late count needs this)
+            late_admit = self._is_late_admit(tup.trigger, ts)
             try:
                 self._runtime.process(tup)
             except LateArrivalError as exc:
@@ -734,7 +813,12 @@ class JoinSession:
                 if policy == "drop":
                     metrics.on_late_drop()
                     return
+                if policy == "dead_letter":
+                    self._dead_letter(tup)
+                    return
                 raise LateTupleError(str(exc)) from exc
+            if late_admit:
+                metrics.on_late_admit()
             self._record(tup)
             if metrics.failed:
                 # this push was fully processed (and recorded) but tipped
@@ -755,6 +839,43 @@ class JoinSession:
             )
         except ValueError as exc:
             raise LateTupleError(str(exc)) from exc
+
+    def _is_late_admit(self, relation: str, ts: float) -> bool:
+        """True iff an (accepted) push lags its stream's high water beyond
+        ``disorder_bound`` — i.e. it rode the ``allowed_lateness`` grace."""
+        if self.allowed_lateness <= 0 or self.disorder_bound is None:
+            return False
+        high = self._stream_high.get(relation)
+        return high is not None and high - ts > self.disorder_bound
+
+    def _dead_letter(self, tup: StreamTuple) -> None:
+        """Route a beyond-lateness straggler to the dead-letter side-output.
+
+        The tuple is never recorded in the verification history — the
+        oracle automatically checks the session against exactly the
+        admitted tuples — and never touches engine or statistics state.
+        """
+        self._dead_letters.append(tup)
+        if self._runtime is not None:
+            self._runtime.metrics.on_dead_letter()
+        else:
+            self._warmup_dead_lettered += 1
+        for callback in self._dead_letter_listeners:
+            callback(tup)
+
+    def dead_letters(self) -> List[StreamTuple]:
+        """Beyond-lateness stragglers routed to the side-output so far
+        (``on_late="dead_letter"``), in arrival order (copy)."""
+        return list(self._dead_letters)
+
+    def on_dead_letter(
+        self, callback: Callable[[StreamTuple], None]
+    ) -> "JoinSession":
+        """Invoke ``callback(tuple)`` for every dead-lettered straggler —
+        the subscribable side of the dead-letter stream, for re-ingestion
+        or offline reconciliation pipelines."""
+        self._dead_letter_listeners.append(callback)
+        return self
 
     def _record(self, tup: StreamTuple) -> None:
         """Full bookkeeping for a tuple the live runtime just ingested.
@@ -799,15 +920,16 @@ class JoinSession:
         return self
 
     def close(self) -> "JoinSession":
-        """Release engine resources; with ``workers > 1``, terminate the
-        shard worker pool (idempotent — results stay readable, pushes after
-        close are undefined).  Single-process sessions need no cleanup, so
-        plain usage without ``close`` stays fully supported."""
+        """Release engine resources (idempotent — results stay readable,
+        pushes after close are undefined).  Every runtime now implements
+        the same close contract, so ``with JoinSession(...)`` behaves
+        identically at ``workers=1`` (final flush) and ``workers>1``
+        (final flush + worker-pool termination); plain usage without
+        ``close`` stays fully supported."""
         if self._runtime is not None:
-            closer = getattr(self._runtime, "close", None)
-            if closer is not None:
+            if not self._runtime.metrics.failed:
                 self._runtime.flush()
-                closer()
+            self._runtime.close()
         return self
 
     def __enter__(self) -> "JoinSession":
@@ -815,6 +937,220 @@ class JoinSession:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: Union[str, "os.PathLike[str]"]) -> "JoinSession":
+        """Write a versioned snapshot of the whole session to ``path``.
+
+        The snapshot captures everything needed to resume mid-stream with
+        exact parity: construction parameters, declared statistics, the
+        query lifecycle (activation intervals), the verification history
+        and arrival sequences, the adaptivity loop's epoch state, the
+        installed plan/topology, and a structural dump of every store
+        container (docs/service.md, "Snapshot format").  Restoring via
+        :meth:`restore` and finishing the feed produces results, result
+        order, and metrics identical to the uninterrupted run.
+
+        Result / dead-letter *subscribers* are not serialized — re-attach
+        callbacks after restoring.  The write is atomic (temp file +
+        rename), so a crash mid-checkpoint leaves any previous snapshot at
+        ``path`` intact.
+        """
+        from .service.snapshot import write_snapshot
+
+        write_snapshot(path, self._snapshot_state())
+        return self
+
+    @classmethod
+    def restore(cls, path: Union[str, "os.PathLike[str]"]) -> "JoinSession":
+        """Rebuild a session from a :meth:`checkpoint` snapshot and resume.
+
+        The restored session accepts pushes immediately and behaves
+        exactly as the checkpointed one would have: same results (and
+        result order), same verification oracle, same adaptive-epoch
+        schedule, same metrics (plus ``metrics.restored_tuples``).  With
+        ``workers > 1`` a fresh worker pool is spawned and each shard's
+        store state is reloaded structurally.
+        """
+        from .service.snapshot import read_snapshot
+
+        return cls._from_snapshot_state(read_snapshot(path))
+
+    def _snapshot_state(self) -> Dict[str, Any]:
+        """The complete pickled payload behind :meth:`checkpoint`."""
+        runtime = self._runtime
+        if runtime is not None and not runtime.metrics.failed:
+            runtime.flush()
+        loop = self._loop
+        plan = self._plan
+        return {
+            "ctor": {
+                "window": self.window,
+                "solver": self.solver,
+                "default_rate": self.default_rate,
+                "default_selectivity": self.default_selectivity,
+                "disorder_bound": self.disorder_bound,
+                "allowed_lateness": self.allowed_lateness,
+                "on_late": self.on_late,
+                "worker_transport": self._worker_transport,
+                "optimizer_config": self._optimizer_config,
+                "runtime_config": self._runtime_config,
+                "record_streams": self.record_streams,
+                "warmup": self.warmup,
+                "reoptimize_every": self.reoptimize_every,
+                "stats_window": self.stats_window,
+            },
+            "declared": {
+                "rates": dict(self._declared_rates),
+                "windows": dict(self._declared_windows),
+                "selectivities": dict(self._declared_selectivities),
+            },
+            "queries": dict(self._queries),
+            "lifecycle": {
+                name: list(acts) for name, acts in self._lifecycle.items()
+            },
+            "ingest": {
+                "pushed": self._pushed,
+                "seq_of": dict(self._seq_of),
+                "history": {
+                    rel: list(tups) for rel, tups in self._history.items()
+                },
+                "pending": list(self._pending),
+                "drops": {rel: list(v) for rel, v in self._drops.items()},
+                "ambiguous_ts": self._ambiguous_ts,
+                "first_ts": self._first_ts,
+                "last_ts": self._last_ts,
+                "stream_high": dict(self._stream_high),
+                "cursors": dict(self._cursors),
+                "dead_letters": list(self._dead_letters),
+                "warmup_late_dropped": self._warmup_late_dropped,
+                "warmup_dead_lettered": self._warmup_dead_lettered,
+                "warmup_late_admitted": self._warmup_late_admitted,
+            },
+            "loop": {
+                "current_epoch": loop.current_epoch,
+                "stats": loop.stats,
+                "closed": list(loop.closed),
+                "pending": dict(loop.pending),
+            },
+            "plan": plan,
+            "plan_signature": plan_signature(plan) if plan is not None else None,
+            "catalog": self._catalog,
+            "topology": runtime.topology if runtime is not None else None,
+            "windows": dict(runtime.windows) if runtime is not None else None,
+            "engine": runtime.dump_state() if runtime is not None else None,
+        }
+
+    @classmethod
+    def _from_snapshot_state(cls, payload: Mapping[str, Any]) -> "JoinSession":
+        """Rebuild a session object from a :meth:`_snapshot_state` payload."""
+        plan = payload["plan"]
+        if plan is not None and plan_signature(plan) != payload["plan_signature"]:
+            raise SessionError(
+                "snapshot is internally inconsistent: the saved plan does "
+                "not match its recorded signature"
+            )
+        ctor = payload["ctor"]
+        session = cls(
+            window=ctor["window"],
+            solver=ctor["solver"],
+            default_rate=ctor["default_rate"],
+            default_selectivity=ctor["default_selectivity"],
+            disorder_bound=ctor["disorder_bound"],
+            allowed_lateness=ctor["allowed_lateness"],
+            on_late=ctor["on_late"],
+            worker_transport=ctor["worker_transport"],
+            optimizer_config=ctor["optimizer_config"],
+            runtime_config=ctor["runtime_config"],
+            record_streams=ctor["record_streams"],
+            warmup=ctor["warmup"],
+            reoptimize_every=ctor["reoptimize_every"],
+            stats_window=ctor["stats_window"],
+        )
+        declared = payload["declared"]
+        session._declared_rates = dict(declared["rates"])
+        session._declared_windows = dict(declared["windows"])
+        session._declared_selectivities = dict(declared["selectivities"])
+        session._queries = dict(payload["queries"])
+        session._lifecycle = {
+            name: list(acts) for name, acts in payload["lifecycle"].items()
+        }
+        session._recompute_registered()
+        ingest = payload["ingest"]
+        session._pushed = ingest["pushed"]
+        session._seq_of = dict(ingest["seq_of"])
+        session._history = {
+            rel: list(tups) for rel, tups in ingest["history"].items()
+        }
+        session._pending = list(ingest["pending"])
+        session._drops = {rel: list(v) for rel, v in ingest["drops"].items()}
+        session._ambiguous_ts = ingest["ambiguous_ts"]
+        session._first_ts = ingest["first_ts"]
+        session._last_ts = ingest["last_ts"]
+        session._stream_high = dict(ingest["stream_high"])
+        session._cursors = dict(ingest["cursors"])
+        session._dead_letters = list(ingest["dead_letters"])
+        session._warmup_late_dropped = ingest["warmup_late_dropped"]
+        session._warmup_dead_lettered = ingest["warmup_dead_lettered"]
+        session._warmup_late_admitted = ingest["warmup_late_admitted"]
+        loop_state = payload["loop"]
+        loop = session._loop
+        loop.current_epoch = loop_state["current_epoch"]
+        loop.stats = loop_state["stats"]
+        loop.closed.clear()
+        loop.closed.extend(loop_state["closed"])
+        loop.pending = dict(loop_state["pending"])
+        session._plan = plan
+        session._catalog = payload["catalog"]
+        engine_state = payload["engine"]
+        if engine_state is None:
+            # checkpointed before the first plan (warmup still buffering):
+            # the restored _pending drains through _start on the next push
+            return session
+        topology = payload["topology"]
+        windows = dict(payload["windows"])
+        runtime: Union[_SessionRuntime, _SessionShardedRuntime]
+        if session._runtime_config.workers > 1:
+            runtime = _SessionShardedRuntime(
+                topology,
+                windows,
+                session._runtime_config,
+                session._listeners,
+                session._worker_transport,
+                session._loop.absorb,
+            )
+        else:
+            runtime = _SessionRuntime(
+                topology, windows, session._runtime_config, session._listeners
+            )
+        runtime.load_state(engine_state)
+        session._runtime = runtime
+        # seed the controller exactly as _start does, so every later
+        # decision — epoch boundary, churn, explicit reoptimize — flows
+        # through the same loop → controller.decide → install path
+        queries = [session._queries[name] for name in sorted(session._queries)]
+        catalog = session._catalog
+        if catalog is None:
+            catalog = session._build_catalog(queries)
+        controller = AdaptiveController(
+            catalog,
+            queries,
+            session._optimizer_config,
+            solver=choose_solver(queries, session.solver),
+        )
+        controller.current_plan = plan
+        controller.current_signature = (
+            plan_signature(plan) if plan is not None else None
+        )
+        controller._dirty = False
+        session._controller = controller
+        session._loop.bind(controller, cluster=session._optimizer_config.cluster)
+        session._loop.attach(runtime)
+        if session._runtime_config.workers > 1:
+            session._loop.pre_decide = runtime.flush
+        return session
 
     # ------------------------------------------------------------------
     # results
@@ -936,9 +1272,13 @@ class JoinSession:
                 self._runtime_config,
                 self._listeners,
             )
-        # stragglers dropped while warming up belong to the same counter
+        # stragglers handled while warming up belong to the same counters
         if self._warmup_late_dropped:
             self._runtime.metrics.on_late_drop(self._warmup_late_dropped)
+        if self._warmup_dead_lettered:
+            self._runtime.metrics.on_dead_letter(self._warmup_dead_lettered)
+        if self._warmup_late_admitted:
+            self._runtime.metrics.on_late_admit(self._warmup_late_admitted)
         self._plan, self._catalog = plan, catalog
         # seed the controller with the plan just deployed: every later
         # decision — epoch boundary, query churn, explicit reoptimize —

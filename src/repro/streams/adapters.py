@@ -6,6 +6,9 @@ list and handing it to ``TopologyRuntime.run``, the same generators pump
 tuples into a live session one arrival at a time:
 
 * :func:`replay` — push any arrival-ordered iterable of input tuples,
+* :func:`replay_async` — the same, awaiting an async ``push_batch`` target
+  (e.g. :class:`repro.service.JoinServer` or
+  :class:`repro.service.ServiceClient`) one chunk at a time,
 * :func:`generate_into` — generate :class:`StreamSpec` streams and push
   them, optionally through a bounded-delay shuffle matching the session's
   ``disorder_bound`` (watermark mode); returns the per-relation recorded
@@ -18,22 +21,29 @@ the same typed errors as hand-written pushes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..engine.tuples import StreamTuple
 from .generators import StreamSpec, bounded_delay_feed, generate_streams
 
-__all__ = ["generate_into", "replay"]
+__all__ = ["generate_into", "replay", "replay_async"]
 
 
-def replay(session, feed: Iterable[StreamTuple]) -> int:
+def replay(
+    session, feed: Iterable[StreamTuple], chunk: Optional[int] = None
+) -> int:
     """Push an arrival-ordered feed of input tuples; returns the count.
 
     ``session`` is a :class:`repro.JoinSession` (typed loosely to keep this
     module import-light).  Tuples whose relation is not registered raise
     :class:`repro.session.UnknownRelationError` — filter the feed on
     ``session.relations`` when replaying across a ``remove_query``.
+    ``chunk=N`` slices the feed into ``push_batch`` calls of at most N
+    tuples each — same semantics, but a caller interleaving other work
+    (checkpoints, rewires) between chunks gets bounded latency per call.
     """
+    if chunk is not None and chunk < 1:
+        raise ValueError("chunk must be at least 1")
     count = 0
 
     def counted():
@@ -42,7 +52,43 @@ def replay(session, feed: Iterable[StreamTuple]) -> int:
             count += 1
             yield tup
 
-    session.push_batch(counted())
+    if chunk is None:
+        session.push_batch(counted())
+        return count
+    pending: List[StreamTuple] = []
+    for tup in counted():
+        pending.append(tup)
+        if len(pending) >= chunk:
+            session.push_batch(pending)
+            pending = []
+    if pending:
+        session.push_batch(pending)
+    return count
+
+
+async def replay_async(target, feed: Iterable[StreamTuple], chunk: int = 256) -> int:
+    """Replay a feed through an *async* ``push_batch`` target.
+
+    ``target`` is duck-typed on ``await target.push_batch(items)`` — the
+    in-process :class:`repro.service.JoinServer` face and the TCP
+    :class:`repro.service.ServiceClient` both qualify (this module never
+    imports the service package).  The feed is awaited one ``chunk`` at a
+    time so the target's bounded ingress queue exerts backpressure on the
+    producer between chunks.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be at least 1")
+    count = 0
+    pending: List[StreamTuple] = []
+    for tup in feed:
+        pending.append(tup)
+        if len(pending) >= chunk:
+            await target.push_batch(pending)
+            count += len(pending)
+            pending = []
+    if pending:
+        await target.push_batch(pending)
+        count += len(pending)
     return count
 
 
@@ -52,14 +98,16 @@ def generate_into(
     duration: float,
     seed: int = 0,
     max_delay: Optional[float] = None,
+    chunk: Optional[int] = None,
 ) -> Dict[str, List[StreamTuple]]:
     """Generate synthetic streams and push them into a live session.
 
     ``max_delay`` shuffles arrivals by bounded per-tuple delays
     (:func:`bounded_delay_feed`) — use it with a session constructed with
-    ``disorder_bound >= max_delay``.  Returns the per-relation streams
-    (event-time ordered) for external verification; ``session.verify()``
-    needs no external state at all.
+    ``disorder_bound >= max_delay``.  ``chunk`` is forwarded to
+    :func:`replay` (bounded-size ``push_batch`` calls).  Returns the
+    per-relation streams (event-time ordered) for external verification;
+    ``session.verify()`` needs no external state at all.
     """
     streams, inputs = generate_streams(specs, duration, seed=seed)
     feed = (
@@ -67,5 +115,5 @@ def generate_into(
         if max_delay is not None
         else inputs
     )
-    replay(session, feed)
+    replay(session, feed, chunk=chunk)
     return streams

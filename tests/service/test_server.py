@@ -1,0 +1,185 @@
+"""Service-front tests: bounded ingress, credit backpressure, protocol.
+
+The backpressure criterion is *real, not advisory*: the ingress queue
+is bounded at the configured depth (the observed high water never
+exceeds it), PAUSE frames are emitted when producers are about to block,
+and no tuple is lost under pressure.  Runs on plain ``asyncio.run`` —
+no pytest-asyncio dependency.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import JoinServer, JoinSession, ServiceClient
+from repro.streams.adapters import replay_async
+
+
+def tiny_session(**kwargs):
+    kwargs.setdefault("window", 5.0)
+    return JoinSession(**kwargs).add_query("q1", "R.a=S.a")
+
+
+def feed_items(n):
+    items = []
+    for i in range(n):
+        items.append(("R", {"a": i % 3}, i * 0.1))
+        items.append(("S", {"a": i % 3}, i * 0.1 + 0.01))
+    return items
+
+
+class TestBackpressure:
+    def test_queue_bounded_pauses_emitted_zero_loss(self):
+        async def scenario():
+            session = tiny_session()
+            server = JoinServer(session, queue_depth=4, drain_batch=2)
+            async with server:
+                client = await ServiceClient.connect(*server.address)
+                async with client:
+                    for relation, values, ts in feed_items(150):
+                        await client.push(relation, values, ts)
+                    reply = await client.flush()
+                    stats = await client.stats()
+                return session, server, client, stats, reply
+
+            # unreachable; context managers close everything above
+
+        session, server, client, stats, reply = asyncio.run(scenario())
+        # the queue is *bounded*: observed depth never exceeded the bound
+        assert 0 < server.queue_high_water <= 4
+        assert stats["queue_high_water"] <= 4
+        # PAUSE credit frames actually reached the client
+        assert server.pauses_sent > 0
+        assert client.pauses_seen > 0
+        # zero tuple loss under pressure
+        assert stats["pushed"] == 300
+        assert server.ingested == 300
+        # and the counters surfaced through the engine metrics
+        assert session.metrics.backpressure_events == server.pauses_sent
+        assert 0 < session.metrics.ingress_queue_high_water <= 4
+        assert session.verify().ok
+
+    def test_in_process_ingest_also_bounded(self):
+        async def scenario():
+            session = tiny_session()
+            server = JoinServer(session, queue_depth=8, drain_batch=4)
+            async with server:
+                count = await replay_async(
+                    server,
+                    (item for item in feed_items(100)),
+                    chunk=16,
+                )
+                await server.drain()
+            return session, server, count
+
+        session, server, count = asyncio.run(scenario())
+        assert count == 200
+        assert server.ingested == 200
+        assert 0 < server.queue_high_water <= 8
+        assert session.verify().ok
+
+
+class TestProtocol:
+    def test_push_batch_flush_results_stats_roundtrip(self):
+        async def scenario():
+            session = tiny_session()
+            async with JoinServer(session) as server:
+                async with await ServiceClient.connect(*server.address) as client:
+                    ack = await client.push_batch(feed_items(20))
+                    assert ack["pushed"] == 40
+                    res = await client.results("q1")
+                    stats = await client.stats()
+            return session, res, stats
+
+        session, res, stats = asyncio.run(scenario())
+        assert res["count"] == len(session.results("q1")) > 0
+        assert stats["summary"]["inputs"] == 40.0
+        assert session.verify().ok
+
+    def test_error_frames_for_bad_input(self):
+        async def scenario():
+            session = tiny_session()
+            async with JoinServer(session) as server:
+                async with await ServiceClient.connect(*server.address) as client:
+                    with pytest.raises(RuntimeError, match="not read by any"):
+                        await client.push_batch([("NOPE", {"x": 1}, 0.0)])
+                    with pytest.raises(RuntimeError, match="never installed"):
+                        await client.results("ghost")
+            return session
+
+        asyncio.run(scenario())
+
+    def test_malformed_frames_answered_not_fatal(self):
+        async def scenario():
+            session = tiny_session()
+            async with JoinServer(session) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["kind"] == "error" and "bad frame" in reply["error"]
+                writer.write(json.dumps({"op": "teleport", "id": 1}).encode() + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["kind"] == "error" and "unknown op" in reply["error"]
+                # the connection survived both errors
+                writer.write(
+                    json.dumps({"op": "stats", "id": 2}).encode() + b"\n"
+                )
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                assert reply["kind"] == "ok" and reply["id"] == 2
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_dead_letters_over_the_wire(self):
+        async def scenario():
+            session = tiny_session(
+                disorder_bound=0.5, allowed_lateness=0.5, on_late="dead_letter"
+            )
+            async with JoinServer(session) as server:
+                async with await ServiceClient.connect(*server.address) as client:
+                    await client.push_batch(
+                        [
+                            ("R", {"a": 1}, 5.0),
+                            ("S", {"a": 1}, 5.0),
+                            ("R", {"a": 1}, 1.0),  # lag 4.0 > D+L
+                        ]
+                    )
+                    return await client.dead_letters()
+
+        reply = asyncio.run(scenario())
+        assert reply["count"] == 1
+        assert reply["dead_letters"] == [
+            {"relation": "R", "ts": 1.0, "values": {"R.a": 1}}
+        ]
+
+
+class TestCheckpointOverTheWire:
+    def test_checkpoint_restore_parity(self, tmp_path):
+        path = tmp_path / "wire.snap"
+
+        async def interrupted():
+            session = tiny_session()
+            async with JoinServer(session) as server:
+                async with await ServiceClient.connect(*server.address) as client:
+                    await client.push_batch(feed_items(30))
+                    reply = await client.checkpoint(str(path))
+                    assert reply["pushed"] == 60
+
+        asyncio.run(interrupted())
+
+        baseline = tiny_session()
+        for relation, values, ts in feed_items(60):
+            baseline.push(relation, values, ts)
+        restored = JoinSession.restore(path)
+        for relation, values, ts in feed_items(60)[60:]:
+            restored.push(relation, values, ts)
+        assert [r.key() for r in restored.results("q1")] == [
+            r.key() for r in baseline.results("q1")
+        ]
+        assert restored.metrics.summary() == baseline.metrics.summary()
+        assert restored.verify().ok
